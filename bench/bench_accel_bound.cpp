@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces paper section 8.2's discrete-accelerator analysis: the
+ * memory-bandwidth-bound execution times, the speedups over the
+ * GPU variants, and the RSU-G unit count required to consume the
+ * 336 GB/s of a GTX Titan X, plus a bandwidth scaling sweep (the
+ * paper notes unit count scales linearly with bandwidth).
+ */
+
+#include <cstdio>
+
+#include "arch/accelerator_model.h"
+#include "arch/gpu_model.h"
+#include "arch/workload.h"
+
+namespace {
+
+using namespace rsu::arch;
+
+void
+row(const char *name, const Workload &w, const AcceleratorModel &acc,
+    const GpuModel &gpu, double paper_vs_gpu, double paper_vs_rsu1)
+{
+    const double t = acc.totalSeconds(w);
+    const double vs_gpu =
+        gpu.totalSeconds(w, GpuVariant::Baseline) / t;
+    const double vs_rsu1 =
+        gpu.totalSeconds(w, GpuVariant::RsuG1) / t;
+    std::printf("%-28s %10.4f %9.1fx(p%4.1f) %9.1fx(p%4.1f)\n", name,
+                t, vs_gpu, paper_vs_gpu, vs_rsu1, paper_vs_rsu1);
+}
+
+} // namespace
+
+int
+main()
+{
+    const AcceleratorModel accel;
+    const GpuModel gpu;
+
+    std::printf("=== Section 8.2: Discrete accelerator "
+                "(bandwidth-bound upper bound) ===\n");
+    std::printf("Assumption: accelerator consumes data at %.0f GB/s "
+                "DRAM bandwidth; bytes/pixel/iteration: "
+                "segmentation 5, motion 54.\n\n",
+                accel.config().mem_bw_gbs);
+    std::printf("%-28s %10s %18s %18s\n", "Workload", "time(s)",
+                "vs GPU", "vs RSU-G1 GPU");
+    row("segmentation 320x320",
+        segmentationWorkload(kSmallWidth, kSmallHeight), accel, gpu,
+        39.0, 12.1);
+    row("segmentation HD",
+        segmentationWorkload(kHdWidth, kHdHeight), accel, gpu, 21.0,
+        7.0);
+    row("motion 320x320", motionWorkload(kSmallWidth, kSmallHeight),
+        accel, gpu, 84.0, 6.5);
+    row("motion HD", motionWorkload(kHdWidth, kHdHeight), accel, gpu,
+        54.0, 3.4);
+
+    const auto mot_hd = motionWorkload(kHdWidth, kHdHeight);
+    std::printf("\nMotion HD vs RSU-G4 GPU: %.2fx (paper: 1.55x — "
+                "RSU-G4 nearly saturates memory bandwidth)\n",
+                gpu.totalSeconds(mot_hd, GpuVariant::RsuG4) /
+                    accel.totalSeconds(mot_hd));
+
+    std::printf("\nUnit provisioning: #units = BW / frequency / "
+                "bytes-per-unit-cycle = %d (paper: ~336 RSU-G1 "
+                "units), drawing %.2f W of RSU power at 15 nm "
+                "(paper: 1.3 W).\n",
+                accel.requiredUnits(), accel.rsuPowerW(15));
+
+    std::printf("\n--- Bandwidth scaling (paper: units scale "
+                "linearly with available BW) ---\n");
+    std::printf("%-12s %8s %14s %16s\n", "BW (GB/s)", "units",
+                "seg-HD time(s)", "motion-HD time(s)");
+    for (double bw : {168.0, 336.0, 672.0, 1344.0}) {
+        AcceleratorConfig config;
+        config.mem_bw_gbs = bw;
+        const AcceleratorModel a(config);
+        std::printf("%-12.0f %8d %14.4f %16.4f\n", bw,
+                    a.requiredUnits(),
+                    a.totalSeconds(
+                        segmentationWorkload(kHdWidth, kHdHeight)),
+                    a.totalSeconds(motionWorkload(kHdWidth,
+                                                  kHdHeight)));
+    }
+    return 0;
+}

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * MCMC solution-quality benchmark: verifies that the quantized
+ * RSU-G device sampler converges like the exact software Gibbs
+ * sampler — the property that makes the paper's speedups "free".
+ *
+ * On a synthetic 5-label segmentation scene, runs software Gibbs,
+ * RSU-Gibbs, Metropolis, and ICM, reporting the energy trajectory
+ * and ground-truth accuracy over iterations. The paper functionally
+ * verified its implementations against MATLAB references
+ * (section 8.1); this is the equivalent cross-check, plus marginal
+ * fidelity on a tiny lattice against the brute-force oracle.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/rsu_g.h"
+#include "mrf/belief_propagation.h"
+#include "mrf/diagnostics.h"
+#include "mrf/estimator.h"
+#include "mrf/exact.h"
+#include "mrf/gibbs.h"
+#include "mrf/icm.h"
+#include "mrf/metropolis.h"
+#include "mrf/rsu_gibbs.h"
+#include "vision/metrics.h"
+#include "vision/segmentation.h"
+#include "vision/synthetic.h"
+
+namespace {
+
+using namespace rsu::mrf;
+using namespace rsu::vision;
+
+void
+energyRace()
+{
+    rsu::rng::Xoshiro256 rng(11);
+    const auto scene = makeSegmentationScene(64, 64, 5, 2.5, rng);
+    SegmentationModel model(
+        scene.image, std::vector<uint8_t>(scene.region_means.begin(),
+                                          scene.region_means.end()));
+    const auto config = segmentationConfig(scene.image, 5, 6.0, 6);
+
+    std::printf("=== Convergence: 64x64 segmentation, 5 labels "
+                "===\n");
+    std::printf("%6s %14s %14s %14s %14s\n", "iter", "Gibbs",
+                "RSU-Gibbs", "Metropolis", "(accuracy G/R)");
+
+    // All samplers start from the standard per-pixel ML
+    // initialization (required by the RSU path's single-pass
+    // energy re-referencing; see GridMrf::initializeMaximumLikelihood).
+    GridMrf mrf_sw(config, model);
+    GridMrf mrf_rsu(config, model);
+    GridMrf mrf_mh(config, model);
+    mrf_sw.initializeMaximumLikelihood();
+    mrf_rsu.setLabels(mrf_sw.labels());
+    mrf_mh.setLabels(mrf_sw.labels());
+
+    GibbsSampler sw(mrf_sw, 21);
+    rsu::core::RsuG unit(
+        RsuGibbsSampler::unitConfigFor(mrf_rsu), 22);
+    RsuGibbsSampler dev(mrf_rsu, unit);
+    MetropolisSampler mh(mrf_mh, 23);
+
+    for (int iter = 1; iter <= 60; ++iter) {
+        sw.sweep();
+        dev.sweep();
+        mh.sweep();
+        if (iter == 1 || iter % 10 == 0) {
+            std::printf(
+                "%6d %14lld %14lld %14lld   %5.1f%% / %5.1f%%\n",
+                iter,
+                static_cast<long long>(mrf_sw.totalEnergy()),
+                static_cast<long long>(mrf_rsu.totalEnergy()),
+                static_cast<long long>(mrf_mh.totalEnergy()),
+                100.0 * labelAccuracy(mrf_sw.labels(), scene.truth),
+                100.0 *
+                    labelAccuracy(mrf_rsu.labels(), scene.truth));
+        }
+    }
+
+    GridMrf mrf_icm(config, model);
+    mrf_icm.initializeMaximumLikelihood();
+    IcmSolver icm(mrf_icm);
+    const int icm_sweeps = icm.solve();
+    std::printf("\nICM baseline: fixed point after %d sweeps, "
+                "energy %lld, accuracy %.1f%%\n",
+                icm_sweeps,
+                static_cast<long long>(mrf_icm.totalEnergy()),
+                100.0 * labelAccuracy(mrf_icm.labels(), scene.truth));
+
+    // Deterministic approximate inference (the section 2.4
+    // alternative): loopy max-product BP on the same model.
+    GridMrf mrf_bp(config, model);
+    BpConfig bp_config;
+    bp_config.damping = 0.3;
+    bp_config.max_product = true;
+    bp_config.max_iterations = 100;
+    BeliefPropagation bp(mrf_bp, bp_config);
+    const int bp_iters = bp.run();
+    mrf_bp.setLabels(bp.decode());
+    std::printf("Loopy BP baseline: %d message iterations "
+                "(converged: %s), energy %lld, accuracy %.1f%%\n",
+                bp_iters, bp.converged() ? "yes" : "no",
+                static_cast<long long>(mrf_bp.totalEnergy()),
+                100.0 * labelAccuracy(mrf_bp.labels(), scene.truth));
+
+    const double gap =
+        100.0 *
+        (static_cast<double>(mrf_rsu.totalEnergy()) -
+         static_cast<double>(mrf_sw.totalEnergy())) /
+        static_cast<double>(mrf_sw.totalEnergy());
+    std::printf("RSU-Gibbs final energy within %.1f%% of software "
+                "Gibbs — device quantization does not impede "
+                "convergence.\n\n",
+                gap);
+
+    // Robustness from a *random* start: the single-pass
+    // current-label reference is ill-conditioned there (the offset
+    // can crush all candidate differences), while the two-pass
+    // minimum reference converges regardless — the design-space
+    // trade-off the two_pass_offset extension buys with its extra
+    // ceil(M/K) cycles.
+    std::printf("--- Initialization robustness (random start) "
+                "---\n");
+    std::printf("%24s %14s %10s\n", "sampler", "energy@40",
+                "accuracy");
+    for (int two_pass = 0; two_pass <= 1; ++two_pass) {
+        GridMrf mrf(config, model);
+        rsu::rng::Xoshiro256 init(5);
+        mrf.randomizeLabels(init);
+        rsu::core::RsuGConfig ucfg =
+            RsuGibbsSampler::unitConfigFor(mrf);
+        ucfg.two_pass_offset = (two_pass == 1);
+        rsu::core::RsuG unit2(ucfg, 29);
+        RsuGibbsSampler sampler(mrf, unit2);
+        sampler.run(40);
+        std::printf("%24s %14lld %9.1f%%\n",
+                    two_pass ? "RSU two-pass (random)"
+                             : "RSU single-pass (random)",
+                    static_cast<long long>(mrf.totalEnergy()),
+                    100.0 * labelAccuracy(mrf.labels(),
+                                          scene.truth));
+    }
+    std::printf("\n");
+}
+
+void
+marginalFidelity()
+{
+    std::printf("=== Marginal fidelity vs brute-force oracle (3x3, "
+                "3 labels) ===\n");
+    rsu::rng::Xoshiro256 rng(13);
+    const auto scene = makeSegmentationScene(3, 3, 3, 4.0, rng);
+    SegmentationModel model(
+        scene.image, std::vector<uint8_t>(scene.region_means.begin(),
+                                          scene.region_means.end()));
+    const auto config = segmentationConfig(scene.image, 3, 10.0, 4);
+    GridMrf mrf(config, model);
+    const ExactInference exact(mrf);
+
+    rsu::core::RsuG unit(
+        RsuGibbsSampler::unitConfigFor(mrf), 31);
+    RsuGibbsSampler sampler(mrf, unit);
+    MarginalMapEstimator est(mrf, 100);
+    est.run(8100, [&] { sampler.sweep(); });
+
+    double max_err = 0.0, mean_err = 0.0;
+    int cells = 0;
+    for (int y = 0; y < 3; ++y) {
+        for (int x = 0; x < 3; ++x) {
+            const auto truth = exact.marginal(x, y);
+            const auto emp = est.empiricalMarginal(x, y);
+            for (int l = 0; l < 3; ++l) {
+                const double err = std::abs(emp[l] - truth[l]);
+                max_err = std::max(max_err, err);
+                mean_err += err;
+                ++cells;
+            }
+        }
+    }
+    std::printf("RSU-Gibbs empirical marginals vs exact "
+                "enumeration: mean |error| %.4f, max %.4f over %d "
+                "cells (8000 retained samples).\n",
+                mean_err / cells, max_err, cells);
+    std::printf("Note: residual error includes both Monte Carlo "
+                "noise and the device's 4-bit intensity "
+                "quantization (characterized in "
+                "bench_ablation_precision).\n");
+}
+
+void
+mixingDiagnostics()
+{
+    std::printf("=== Mixing diagnostics (4 chains, 32x32 "
+                "segmentation) ===\n");
+    rsu::rng::Xoshiro256 rng(17);
+    const auto scene = makeSegmentationScene(32, 32, 4, 2.5, rng);
+    SegmentationModel model(
+        scene.image, std::vector<uint8_t>(scene.region_means.begin(),
+                                          scene.region_means.end()));
+    const auto config = segmentationConfig(scene.image, 4, 8.0, 4);
+
+    auto chain_for = [&](uint64_t seed, bool use_rsu) {
+        GridMrf mrf(config, model);
+        mrf.initializeMaximumLikelihood();
+        std::vector<double> chain;
+        rsu::core::RsuG unit(
+            RsuGibbsSampler::unitConfigFor(mrf), seed);
+        if (use_rsu) {
+            RsuGibbsSampler sampler(mrf, unit);
+            sampler.run(20);
+            for (int i = 0; i < 200; ++i) {
+                sampler.sweep();
+                chain.push_back(
+                    static_cast<double>(mrf.totalEnergy()));
+            }
+        } else {
+            GibbsSampler sampler(mrf, seed);
+            sampler.run(20);
+            for (int i = 0; i < 200; ++i) {
+                sampler.sweep();
+                chain.push_back(
+                    static_cast<double>(mrf.totalEnergy()));
+            }
+        }
+        return chain;
+    };
+
+    for (int use_rsu = 0; use_rsu <= 1; ++use_rsu) {
+        std::vector<std::vector<double>> chains;
+        for (uint64_t seed : {101u, 202u, 303u, 404u})
+            chains.push_back(chain_for(seed, use_rsu == 1));
+        std::printf("%12s: R-hat %.4f, autocorrelation time %.2f "
+                    "sweeps, ESS %.0f / 200\n",
+                    use_rsu ? "RSU-Gibbs" : "Gibbs",
+                    gelmanRubin(chains),
+                    autocorrelationTime(chains[0]),
+                    effectiveSampleSize(chains[0]));
+    }
+    std::printf("Both samplers converge to the same distribution "
+                "(R-hat ~ 1 across independent chains). The RSU "
+                "chain decorrelates a few times slower: the "
+                "single-pass energy re-reference slightly favours "
+                "the incumbent label (clamp at zero), a stickiness "
+                "the two-pass mode removes. Budget iterations "
+                "accordingly (ESS column).\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    energyRace();
+    marginalFidelity();
+    mixingDiagnostics();
+    return 0;
+}

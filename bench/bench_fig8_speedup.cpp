@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: RSU speedup over the baseline GPU and
+ * over the optimized GPU, for RSU-G1 and RSU-G4, both applications
+ * and both image sizes. Prints the two panels as text bar charts.
+ *
+ * Paper reference points: segmentation RSU-G1 3.2x (320x320) and
+ * 3.0x (HD) over GPU, 2.5x / 2.4x over Opt GPU; motion RSU-G1
+ * ~12.8x-16.1x over GPU, 6.4x-7.5x over Opt; motion RSU-G4 23x
+ * (small) and 34x (HD) over GPU.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "arch/gpu_model.h"
+#include "arch/workload.h"
+
+namespace {
+
+using namespace rsu::arch;
+
+void
+bar(const char *label, double paper, double model)
+{
+    std::string blocks(
+        static_cast<size_t>(std::min(model * 1.5, 60.0)), '#');
+    std::printf("  %-24s paper %6.1fx  model %6.1fx  |%s\n", label,
+                paper, model, blocks.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    const GpuModel model;
+    const auto seg_s = segmentationWorkload(kSmallWidth, kSmallHeight);
+    const auto seg_hd = segmentationWorkload(kHdWidth, kHdHeight);
+    const auto mot_s = motionWorkload(kSmallWidth, kSmallHeight);
+    const auto mot_hd = motionWorkload(kHdWidth, kHdHeight);
+
+    auto su = [&](const Workload &w, GpuVariant v, GpuVariant ref) {
+        return model.speedup(w, v, ref);
+    };
+
+    std::printf("=== Figure 8 (panel 1): Speedup over baseline GPU "
+                "===\n");
+    std::printf("Image segmentation:\n");
+    bar("RSU-G1 320x320", 3.2,
+        su(seg_s, GpuVariant::RsuG1, GpuVariant::Baseline));
+    bar("RSU-G1 1080x1920", 3.0,
+        su(seg_hd, GpuVariant::RsuG1, GpuVariant::Baseline));
+    bar("RSU-G4 320x320", 3.2,
+        su(seg_s, GpuVariant::RsuG4, GpuVariant::Baseline));
+    bar("RSU-G4 1080x1920", 3.0,
+        su(seg_hd, GpuVariant::RsuG4, GpuVariant::Baseline));
+    std::printf("Dense motion estimation:\n");
+    bar("RSU-G1 320x320", 13.8,
+        su(mot_s, GpuVariant::RsuG1, GpuVariant::Baseline));
+    bar("RSU-G1 1080x1920", 16.1,
+        su(mot_hd, GpuVariant::RsuG1, GpuVariant::Baseline));
+    bar("RSU-G4 320x320", 23.0,
+        su(mot_s, GpuVariant::RsuG4, GpuVariant::Baseline));
+    bar("RSU-G4 1080x1920", 34.0,
+        su(mot_hd, GpuVariant::RsuG4, GpuVariant::Baseline));
+
+    std::printf("\n=== Figure 8 (panel 2): Speedup over optimized "
+                "GPU ===\n");
+    std::printf("Image segmentation:\n");
+    bar("RSU-G1 320x320", 2.5,
+        su(seg_s, GpuVariant::RsuG1, GpuVariant::Optimized));
+    bar("RSU-G1 1080x1920", 2.4,
+        su(seg_hd, GpuVariant::RsuG1, GpuVariant::Optimized));
+    std::printf("Dense motion estimation:\n");
+    bar("RSU-G1 320x320", 6.4,
+        su(mot_s, GpuVariant::RsuG1, GpuVariant::Optimized));
+    bar("RSU-G1 1080x1920", 7.5,
+        su(mot_hd, GpuVariant::RsuG1, GpuVariant::Optimized));
+    bar("RSU-G4 320x320", 13.5,
+        su(mot_s, GpuVariant::RsuG4, GpuVariant::Optimized));
+    bar("RSU-G4 1080x1920", 16.0,
+        su(mot_hd, GpuVariant::RsuG4, GpuVariant::Optimized));
+
+    std::printf("\nShape checks: seg G4 == seg G1 (M=5 is "
+                "issue-bound, extra width buys nothing): %s; "
+                "motion G4 > motion G1 (M=49 is width-bound): %s; "
+                "motion >> seg (more sampled work eliminated): "
+                "%s\n",
+                std::abs(su(seg_hd, GpuVariant::RsuG4,
+                            GpuVariant::Baseline) -
+                         su(seg_hd, GpuVariant::RsuG1,
+                            GpuVariant::Baseline)) < 0.2
+                    ? "YES"
+                    : "NO",
+                su(mot_hd, GpuVariant::RsuG4, GpuVariant::Baseline) >
+                        1.6 * su(mot_hd, GpuVariant::RsuG1,
+                                 GpuVariant::Baseline)
+                    ? "YES"
+                    : "NO",
+                su(mot_hd, GpuVariant::RsuG1, GpuVariant::Baseline) >
+                        3.0 * su(seg_hd, GpuVariant::RsuG1,
+                                 GpuVariant::Baseline)
+                    ? "YES"
+                    : "NO");
+    std::printf("(The paper's small-vs-HD speedup ordering within "
+                "an application differs by run-to-run residuals its "
+                "own emulation measured; the calibrated model "
+                "reproduces each cell within ~16%% — see "
+                "EXPERIMENTS.md.)\n");
+    return 0;
+}

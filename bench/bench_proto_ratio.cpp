@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces the paper's section 7 prototype parameterization
+ * experiment: sweep commanded pairwise probability ratios from 1 to
+ * 255 on the emulated RSU-G2 bench and report the achieved relative
+ * probabilities. Paper result: within 10% of the commanded ratio
+ * below 30, ~24% above.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "proto/prototype.h"
+
+int
+main()
+{
+    using namespace rsu::proto;
+
+    const PrototypeConfig config;
+    const std::vector<double> ratios = {1,  2,  4,   8,   15, 20,
+                                        28, 40, 64,  100, 160, 255};
+    constexpr int kTrials = 40000;
+    constexpr int kRepeats = 16;
+
+    std::printf("=== Section 7: RSU-G2 prototype ratio sweep ===\n");
+    std::printf("Commanded pairwise probability ratios, %d shots x "
+                "%d laser configurations each.\n\n",
+                kTrials, kRepeats);
+    std::printf("%10s %12s %12s\n", "commanded", "measured",
+                "rel.error");
+
+    const auto sweep =
+        ratioSweep(config, 20160618, ratios, kTrials, kRepeats);
+
+    double low_err = 0.0, high_err = 0.0;
+    int low_n = 0, high_n = 0;
+    for (const auto &m : sweep) {
+        std::printf("%10.0f %12.2f %11.1f%%\n", m.commanded,
+                    m.measured, 100.0 * m.rel_error);
+        if (m.commanded < 30.0) {
+            low_err += m.rel_error;
+            ++low_n;
+        } else {
+            high_err += m.rel_error;
+            ++high_n;
+        }
+    }
+    std::printf("\nMean relative error, ratios < 30: %.1f%% "
+                "(paper: within 10%%)\n",
+                100.0 * low_err / low_n);
+    std::printf("Mean relative error, ratios >= 30: %.1f%% "
+                "(paper: ~24%%)\n",
+                100.0 * high_err / high_n);
+    std::printf("\nError sources modeled: per-configuration laser "
+                "calibration noise (grows past the linear control "
+                "range), SPAD dead-time compression at high rates, "
+                "250 ps FPGA quantization, finite shot counts.\n");
+    return 0;
+}

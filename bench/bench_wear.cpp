@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Chromophore longevity study (paper section 9).
+ *
+ * The paper identifies photobleaching as a deployment risk: oxygen
+ * exposure limits the number of excitation cycles a RET network
+ * survives, and proposes two mitigations — larger ensembles per
+ * circuit (equivalently, a lower per-cycle bleach fraction) and
+ * encapsulation. This bench quantifies both:
+ *
+ *  1. distribution drift: total-variation distance of the RSU-G
+ *     conditional from its fresh-device value as excitation cycles
+ *     accumulate, for several bleach rates;
+ *  2. mitigation: the same drift under encapsulation factors;
+ *  3. a refresh policy: cycles until drift exceeds a tolerance,
+ *     i.e. the required service interval.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/rsu_g.h"
+#include "ret/ret_network.h"
+
+namespace {
+
+using namespace rsu::core;
+
+/** TV distance of the current race distribution from a fresh
+ * unit's, for a fixed representative conditional. */
+double
+driftFromFresh(RsuG &aged, RsuG &fresh)
+{
+    EnergyInputs in;
+    in.neighbors = {1, 2, 2, 3};
+    in.data1 = 25;
+    uint8_t data2[5] = {12, 25, 31, 40, 55};
+    const auto a = aged.raceDistribution(in, data2);
+    const auto f = fresh.raceDistribution(in, data2);
+    double tv = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        tv += std::abs(a[i] - f[i]);
+    return 0.5 * tv;
+}
+
+void
+ageUnit(RsuG &unit, uint64_t cycles)
+{
+    // Age every circuit through the closed-form wear model (wear
+    // is deterministic in the cycle count).
+    const auto &config = unit.config();
+    for (int lane = 0; lane < config.width; ++lane) {
+        for (int rep = 0; rep < config.circuits_per_lane; ++rep)
+            unit.circuit(lane, rep).network().age(cycles);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Section 9: photobleaching and mitigations "
+                "===\n\n");
+
+    std::printf("--- Drift vs excitation cycles (TV distance from "
+                "fresh device) ---\n");
+    std::printf("%14s", "cycles");
+    const double bleach_rates[3] = {1e-6, 1e-7, 1e-8};
+    for (double b : bleach_rates)
+        std::printf("   bleach=%.0e", b);
+    std::printf("\n");
+
+    const uint64_t checkpoints[5] = {10000, 100000, 300000, 1000000,
+                                     3000000};
+    for (uint64_t total : checkpoints) {
+        std::printf("%14llu", static_cast<unsigned long long>(total));
+        for (double b : bleach_rates) {
+            RsuGConfig config;
+            config.circuit.wear.bleach_per_cycle = b;
+            RsuG aged(config, 1);
+            aged.initialize(5, 16.0);
+            RsuG fresh(RsuGConfig{}, 1);
+            fresh.initialize(5, 16.0);
+            ageUnit(aged, total);
+            std::printf("   %11.4f", driftFromFresh(aged, fresh));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nWhy drift stays bounded: bleaching scales every "
+                "channel's rate by the same surviving fraction, and "
+                "the first-to-fire race depends only on rate "
+                "*ratios* — the visible drift comes from the TTF "
+                "register seeing slower absolute rates (more "
+                "saturation, coarser effective resolution).\n");
+
+    std::printf("\n--- Encapsulation mitigation (bleach 1e-6, 1M "
+                "cycles) ---\n");
+    std::printf("%24s %14s %14s\n", "encapsulation factor",
+                "surviving", "TV drift");
+    for (double f : {1.0, 0.3, 0.1, 0.01}) {
+        RsuGConfig config;
+        config.circuit.wear.bleach_per_cycle = 1e-6;
+        config.circuit.wear.encapsulation_factor = f;
+        RsuG aged(config, 1);
+        aged.initialize(5, 16.0);
+        RsuG fresh(RsuGConfig{}, 1);
+        fresh.initialize(5, 16.0);
+        ageUnit(aged, 1000000);
+        std::printf("%24.2f %14.4f %14.4f\n", f,
+                    aged.circuit(0, 0).network().survivingFraction(),
+                    driftFromFresh(aged, fresh));
+    }
+
+    std::printf("\n--- Refresh policy: cycles until TV drift > 0.02 "
+                "---\n");
+    std::printf("%14s %20s\n", "bleach", "service interval");
+    for (double b : bleach_rates) {
+        RsuGConfig config;
+        config.circuit.wear.bleach_per_cycle = b;
+        RsuG aged(config, 1);
+        aged.initialize(5, 16.0);
+        RsuG fresh(RsuGConfig{}, 1);
+        fresh.initialize(5, 16.0);
+        uint64_t cycles = 0;
+        const uint64_t stride = 100000;
+        while (driftFromFresh(aged, fresh) <= 0.02 &&
+               cycles < 20000000) {
+            ageUnit(aged, stride);
+            cycles += stride;
+        }
+        if (cycles >= 20000000) {
+            std::printf("%14.0e %20s\n", b, "> 2e7 cycles");
+        } else {
+            std::printf("%14.0e %17llu+ cy\n", b,
+                        static_cast<unsigned long long>(cycles));
+        }
+    }
+    std::printf("\nAt 1 GHz issue rates a 1e-8 bleach fraction "
+                "(large encapsulated ensembles) gives service "
+                "intervals in seconds of continuous sampling; "
+                "refresh() models chromophore replacement.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * RSU pipeline width/depth design-space exploration — the paper's
+ * section 9 future work ("actively investigating the width and
+ * depth of RSU pipelines").
+ *
+ * For each width K (RSU-G1..G64) and the motion workload's M = 49
+ * labels, reports: sample latency, steady-state throughput, unit
+ * power and area at 15 nm (using the width-scaled component model),
+ * and the throughput-per-watt / throughput-per-area figures a
+ * designer would use to pick an operating point. Also sweeps RET
+ * circuit replication below and above the quiescence-matching 4.
+ */
+
+#include <cstdio>
+
+#include "arch/power_area.h"
+#include "core/rsu_g.h"
+
+namespace {
+
+using namespace rsu::arch;
+using rsu::core::RsuG;
+using rsu::core::RsuGConfig;
+
+void
+widthSweep(int m)
+{
+    std::printf("=== Width sweep at M = %d labels (15 nm, 1 GHz, "
+                "4 circuits/lane) ===\n",
+                m);
+    std::printf("%6s %8s %12s %14s %10s %12s %14s %16s\n", "K",
+                "latency", "cyc/sample", "Msamples/s", "mW",
+                "area um2", "Msamp/s/W", "Msamp/s/mm2");
+    for (int k : {1, 2, 4, 8, 16, 32, 64}) {
+        RsuGConfig config;
+        config.width = k;
+        RsuG unit(config);
+        unit.setNumLabels(m);
+        const double interval = unit.steadyStateIntervalCycles();
+        const double msps = 1e9 / interval / 1e6; // at 1 GHz
+        const RsuBudget b =
+            RsuPowerAreaModel::projectWidth(15, 1000.0, k);
+        std::printf("%6d %8d %12.1f %14.2f %10.1f %12.0f %14.1f "
+                    "%16.1f\n",
+                    k, unit.latencyCycles(), interval, msps,
+                    b.totalPowerMw(), b.totalAreaUm2(),
+                    msps / (b.totalPowerMw() * 1e-3),
+                    msps / (b.totalAreaUm2() / 1e6));
+    }
+    std::printf("\nThroughput scales ~linearly with width while "
+                "power/area grow slightly super-linearly (selection "
+                "tree, LUT banking), so efficiency peaks at "
+                "moderate widths unless single-cycle sampling is "
+                "required.\n\n");
+}
+
+void
+replicationSweep()
+{
+    std::printf("=== Depth (replication) sweep at K = 1, M = 16 "
+                "===\n");
+    std::printf("%10s %14s %12s %10s %14s\n", "replicas",
+                "cyc/sample", "Msamples/s", "mW",
+                "Msamp/s/W");
+    for (int r : {1, 2, 3, 4, 6, 8}) {
+        RsuGConfig config;
+        config.circuits_per_lane = r;
+        RsuG unit(config);
+        unit.setNumLabels(16);
+        const double interval = unit.steadyStateIntervalCycles();
+        const double msps = 1e9 / interval / 1e6;
+        const RsuBudget b =
+            RsuPowerAreaModel::projectWidth(15, 1000.0, 1, r);
+        std::printf("%10d %14.1f %12.2f %10.2f %14.1f\n", r,
+                    interval, msps, b.totalPowerMw(),
+                    msps / (b.totalPowerMw() * 1e-3));
+    }
+    std::printf("\n4 replicas exactly cover the 4-cycle quiescence "
+                "window; fewer stall the pipeline, more burn optics "
+                "power for nothing — the paper's design point is "
+                "the efficiency knee.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    widthSweep(49); // motion estimation
+    widthSweep(5);  // segmentation
+    replicationSweep();
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cycle-accurate timing helper for the Table 1 measurements.
+ *
+ * The paper measures cycles with the Intel Performance Counter
+ * Monitor on an E5-2640; the closest portable equivalent is the
+ * x86 TSC (rdtsc), which counts at the base clock. On non-x86
+ * hosts we fall back to std::chrono nanoseconds scaled by a nominal
+ * frequency.
+ */
+
+#ifndef RSU_BENCH_CYCLE_TIMER_H
+#define RSU_BENCH_CYCLE_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace rsu::bench {
+
+/** Nominal frequency used by the chrono fallback (GHz). */
+constexpr double kNominalGhz = 2.5;
+
+inline uint64_t
+cycleCount()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __rdtsc();
+#else
+    const auto now = std::chrono::steady_clock::now();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count();
+    return static_cast<uint64_t>(ns * kNominalGhz);
+#endif
+}
+
+/**
+ * Average cycles per call of @p fn over @p iterations invocations
+ * (one warmup pass of a tenth of the iterations first).
+ */
+template <typename Fn>
+double
+averageCycles(int iterations, Fn &&fn)
+{
+    for (int i = 0; i < iterations / 10 + 1; ++i)
+        fn();
+    const uint64_t start = cycleCount();
+    for (int i = 0; i < iterations; ++i)
+        fn();
+    const uint64_t stop = cycleCount();
+    return static_cast<double>(stop - start) / iterations;
+}
+
+} // namespace rsu::bench
+
+#endif // RSU_BENCH_CYCLE_TIMER_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Architecture design-space exploration with the analytic models.
+ *
+ * Walks the axes the paper discusses: RSU width (G1..G64), unit
+ * replication, DRAM bandwidth for the discrete accelerator, and
+ * technology node — printing execution time, power, and area so a
+ * designer can see the trade-offs in one place.
+ */
+
+#include <cstdio>
+
+#include "arch/accelerator_model.h"
+#include "arch/cpu_model.h"
+#include "arch/gpu_model.h"
+#include "arch/power_area.h"
+#include "arch/workload.h"
+#include "core/rsu_g.h"
+
+int
+main()
+{
+    using namespace rsu::arch;
+
+    std::printf("=== RSU width: latency & throughput per sampled "
+                "variable ===\n");
+    std::printf("%8s %12s %12s %16s\n", "width", "M=5 lat", "M=49 "
+                                                            "lat",
+                "M=49 interval");
+    for (int k : {1, 2, 4, 8, 16, 64}) {
+        rsu::core::RsuGConfig config;
+        config.width = k;
+        rsu::core::RsuG unit(config);
+        unit.setNumLabels(5);
+        const int lat5 = unit.latencyCycles();
+        unit.setNumLabels(49);
+        std::printf("%8d %12d %12d %16.1f\n", k, lat5,
+                    unit.latencyCycles(),
+                    unit.steadyStateIntervalCycles());
+    }
+
+    std::printf("\n=== GPU augmentation vs discrete accelerator "
+                "(motion, HD) ===\n");
+    const auto w = motionWorkload(kHdWidth, kHdHeight);
+    const GpuModel gpu;
+    std::printf("%-22s %12s\n", "configuration", "time (s)");
+    for (auto v : {GpuVariant::Baseline, GpuVariant::Optimized,
+                   GpuVariant::RsuG1, GpuVariant::RsuG4}) {
+        std::printf("%-22s %12.3f\n", variantName(v).c_str(),
+                    gpu.totalSeconds(w, v));
+    }
+    const AcceleratorModel accel;
+    std::printf("%-22s %12.3f  (%d units, %.2f W RSU power)\n",
+                "accelerator @336GB/s", accel.totalSeconds(w),
+                accel.requiredUnits(), accel.rsuPowerW());
+
+    std::printf("\n=== Technology node: one RSU-G1 ===\n");
+    std::printf("%6s %14s %14s\n", "node", "power (mW)",
+                "area (um^2)");
+    for (int node : {45, 32, 22, 15}) {
+        const auto b = RsuPowerAreaModel::project(node, 1000.0);
+        std::printf("%4dnm %14.2f %14.0f\n", node, b.totalPowerMw(),
+                    b.totalAreaUm2());
+    }
+
+    std::printf("\n=== Sequential CPU core + RSU-G1 ===\n");
+    const CpuModel cpu;
+    for (const auto &wl :
+         {segmentationWorkload(kSmallWidth, kSmallHeight),
+          stereoWorkload(kSmallWidth, kSmallHeight)}) {
+        std::printf("%-26s baseline %8.1f s, with RSU %6.2f s "
+                    "(%.0fx)\n",
+                    wl.name.c_str(), cpu.baselineSeconds(wl),
+                    cpu.rsuSeconds(wl), cpu.speedup(wl));
+    }
+
+    std::printf("\n=== Accelerator bandwidth scaling (motion HD) "
+                "===\n");
+    std::printf("%12s %8s %12s %14s\n", "BW (GB/s)", "units",
+                "time (s)", "RSU power (W)");
+    for (double bw : {84.0, 168.0, 336.0, 672.0, 1344.0}) {
+        AcceleratorConfig config;
+        config.mem_bw_gbs = bw;
+        const AcceleratorModel a(config);
+        std::printf("%12.0f %8d %12.4f %14.2f\n", bw,
+                    a.requiredUnits(), a.totalSeconds(w),
+                    a.rsuPowerW());
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Associative pattern recall — the paper's "associative memory"
+ * MRF application, run through the RSU-G sampler with simulated
+ * annealing.
+ *
+ * A stored binary pattern is observed through a channel that
+ * erases 40% of the pixels and flips 5% of the rest; recall
+ * reconstructs the pattern from the corrupted observation. Writes
+ * recall_{pattern,observed,recalled}.pgm.
+ *
+ * Usage:
+ *   pattern_recall [erase_fraction] [flip_fraction]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/rsu_g.h"
+#include "mrf/annealing.h"
+#include "mrf/estimator.h"
+#include "mrf/rsu_gibbs.h"
+#include "vision/image.h"
+#include "vision/metrics.h"
+#include "vision/recall.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rsu::vision;
+
+    const double erase = argc > 1 ? std::atof(argv[1]) : 0.4;
+    const double flip = argc > 2 ? std::atof(argv[2]) : 0.05;
+    constexpr int kWidth = 96, kHeight = 72;
+
+    rsu::rng::Xoshiro256 rng(8);
+    const auto pattern = makeBinaryPattern(kWidth, kHeight, rng);
+    const auto problem =
+        corruptPattern(pattern, kWidth, kHeight, erase, flip, rng);
+
+    auto to_image = [&](auto value_of) {
+        Image img(kWidth, kHeight, 63);
+        for (int i = 0; i < img.size(); ++i)
+            img.pixels()[i] = value_of(i);
+        return img;
+    };
+    to_image([&](int i) { return pattern[i] ? 63 : 0; })
+        .writePgm("recall_pattern.pgm");
+    to_image([&](int i) {
+        if (!problem.known[i])
+            return 32; // grey = erased
+        return problem.observed[i] ? 63 : 0;
+    }).writePgm("recall_observed.pgm");
+
+    const RecallModel model(problem);
+    const auto config = recallConfig(problem);
+    rsu::mrf::GridMrf mrf(config, model);
+    mrf.initializeMaximumLikelihood();
+    std::printf("Recall: %dx%d pattern, %.0f%% erased, %.0f%% "
+                "flipped\n",
+                kWidth, kHeight, 100.0 * erase, 100.0 * flip);
+    std::printf("Observation accuracy (erased pixels guessed 0): "
+                "%.1f%%\n",
+                100.0 * labelAccuracy(mrf.labels(), pattern));
+
+    rsu::core::RsuG unit(
+        rsu::mrf::RsuGibbsSampler::unitConfigFor(mrf), 21);
+    rsu::mrf::RsuGibbsSampler sampler(mrf, unit);
+
+    rsu::mrf::AnnealingSchedule schedule;
+    schedule.start_temperature = 6.0;
+    schedule.stop_temperature = 1.0;
+    schedule.cooling_factor = 0.7;
+    schedule.sweeps_per_stage = 8;
+    rsu::mrf::anneal(
+        mrf, schedule,
+        [&](double t) { sampler.setTemperature(t); },
+        [&] { sampler.sweep(); });
+
+    const double acc = labelAccuracy(mrf.labels(), pattern);
+    std::printf("Recalled accuracy after annealing: %.1f%%\n",
+                100.0 * acc);
+
+    to_image([&](int i) { return mrf.labels()[i] ? 63 : 0; })
+        .writePgm("recall_recalled.pgm");
+    std::printf("wrote recall_pattern.pgm recall_observed.pgm "
+                "recall_recalled.pgm\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * M/M/1 queue simulation driven by RSU-E exponential units — the
+ * paper's "rare event simulation" motif (section 1) on the generic
+ * RSU substrate.
+ *
+ * Two RSU-E units supply inter-arrival and service times; the
+ * simulation measures mean waiting time and the rare-event tail
+ * probability P(wait > t), both of which have closed forms for
+ * M/M/1, so the device-driven simulation validates end to end:
+ *
+ *   W_q = rho / (mu - lambda),  P(W > t) = rho * exp(-(mu-lambda) t)
+ *
+ * Usage:
+ *   queue_simulation [utilization] [customers]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/rsu_units.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rsu::core;
+
+    const double rho = argc > 1 ? std::atof(argv[1]) : 0.8;
+    const long customers =
+        argc > 2 ? std::atol(argv[2]) : 2000000;
+    if (rho <= 0.0 || rho >= 1.0) {
+        std::fprintf(stderr, "utilization must be in (0,1)\n");
+        return 1;
+    }
+
+    // Service rate fixed near the top of the RSU-E ladder so both
+    // rates land on accurate ladder points; arrivals at rho * mu.
+    RsuExponential service(rsu::ret::RetCircuitConfig{}, 1);
+    RsuExponential arrivals(rsu::ret::RetCircuitConfig{}, 2);
+    const double mu = service.setRate(0.9);
+    const double lambda = arrivals.setRate(rho * mu);
+    const double achieved_rho = lambda / mu;
+
+    std::printf("M/M/1 via RSU-E: lambda = %.4f/ns, mu = %.4f/ns "
+                "(achieved rho = %.3f; requested %.3f)\n",
+                lambda, mu, achieved_rho, rho);
+
+    // Lindley recursion over quantized device samples.
+    double wait = 0.0;
+    double wait_sum = 0.0;
+    const double tail_t = 3.0 / (mu - lambda); // a deep-ish tail
+    long tail_hits = 0;
+    for (long i = 0; i < customers; ++i) {
+        const double a = arrivals.sample() * arrivals.tickNs();
+        const double s = service.sample() * service.tickNs();
+        wait = std::max(0.0, wait + s - a);
+        wait_sum += wait;
+        if (wait > tail_t)
+            ++tail_hits;
+    }
+
+    const double measured_wq = wait_sum / customers;
+    const double analytic_wq = achieved_rho / (mu - lambda);
+    const double measured_tail =
+        static_cast<double>(tail_hits) / customers;
+    const double analytic_tail =
+        achieved_rho * std::exp(-(mu - lambda) * tail_t);
+
+    std::printf("\nmean wait:      measured %8.3f ns, analytic "
+                "%8.3f ns (%.1f%% off)\n",
+                measured_wq, analytic_wq,
+                100.0 * std::abs(measured_wq - analytic_wq) /
+                    analytic_wq);
+    std::printf("P(wait > %.1f): measured %.5f, analytic %.5f\n",
+                tail_t, measured_tail, analytic_tail);
+    std::printf("\nResidual error comes from the 8-bit TTF "
+                "quantization (floor bias ~ half a tick per draw) "
+                "and register saturation on the deep exponential "
+                "tail — the device effects the RSU-E tests pin "
+                "down.\n");
+    std::printf("device draws: %llu arrivals + %llu services\n",
+                static_cast<unsigned long long>(arrivals.samples()),
+                static_cast<unsigned long long>(service.samples()));
+    return 0;
+}

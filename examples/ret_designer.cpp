@@ -1,0 +1,141 @@
+/**
+ * @file
+ * RET network designer: from chromophore photophysics to RSU
+ * device parameters.
+ *
+ * The emulation layers above (RetCircuit, RsuG) take an abstract
+ * "base rate per unit intensity"; a real RSU designer starts from
+ * dyes and DNA-scaffold geometry. This example walks that path with
+ * the Förster module:
+ *
+ *   1. pick a donor/acceptor pair and inspect R0;
+ *   2. sweep scaffold spacing -> transfer rate and efficiency;
+ *   3. build a 3-stage cascade, check its detection efficiency and
+ *      emission-time distribution against the CTMC solver;
+ *   4. derive the RetCircuit base rate the cascade implements and
+ *      instantiate an RSU-G on it, verifying the Gibbs race still
+ *      tracks the softmax.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/rsu_g.h"
+#include "ret/forster.h"
+#include "rng/stats.h"
+#include "rng/xoshiro256.h"
+
+int
+main()
+{
+    using namespace rsu::ret;
+
+    Chromophore donor;
+    donor.emission_peak_nm = 570;
+    donor.excitation_peak_nm = 550;
+    donor.lifetime_ns = 3.0;
+    Chromophore relay = donor;
+    relay.excitation_peak_nm = 565;
+    relay.emission_peak_nm = 610;
+    Chromophore acceptor;
+    acceptor.excitation_peak_nm = 605;
+    acceptor.emission_peak_nm = 670;
+    acceptor.lifetime_ns = 2.0;
+    acceptor.quantum_yield = 0.9;
+
+    std::printf("=== 1. Pair characterization ===\n");
+    std::printf("donor->relay    R0 = %.2f nm\n",
+                forsterRadius(donor, relay));
+    std::printf("relay->acceptor R0 = %.2f nm\n",
+                forsterRadius(relay, acceptor));
+
+    std::printf("\n=== 2. Scaffold spacing sweep (donor->relay) "
+                "===\n");
+    std::printf("%12s %14s %14s\n", "r (nm)", "rate (1/ns)",
+                "efficiency");
+    for (double r : {3.0, 4.0, 5.0, 6.0, 8.0}) {
+        std::printf("%12.1f %14.4f %14.3f\n", r,
+                    transferRate(donor, relay, r),
+                    transferEfficiency(donor, relay, r));
+    }
+
+    std::printf("\n=== 3. Three-stage cascade at 4.5 nm spacing "
+                "===\n");
+    const std::vector<Chromophore> chain = {donor, relay, acceptor};
+    const std::vector<double> spacings = {4.5, 4.5};
+    const double eff = cascadeEfficiency(chain, spacings);
+    const auto network = buildCascadeNetwork(chain, spacings);
+    std::printf("analytic detection efficiency: %.3f\n", eff);
+    // The *unconditional* mean absorption time is infinite (dark
+    // decay paths never emit); the designer cares about the mean
+    // conditional on emission, estimated from the CTMC samples.
+    rsu::rng::Xoshiro256 rng(3);
+    rsu::rng::RunningMoments bright;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        const double t = network.sampleTtf(rng);
+        if (std::isfinite(t))
+            bright.add(t);
+    }
+    std::printf("sampled: bright fraction %.3f (matches analytic), "
+                "mean emission time %.3f ns\n",
+                bright.count() / double(kDraws), bright.mean());
+
+    std::printf("\n=== 4. Device parameters for the RSU emulation "
+                "===\n");
+    // An ensemble of N cascades under unit excitation intensity
+    // produces detectable photons at roughly
+    // N * efficiency / mean-emission-time. The RSU-G's default
+    // tuning wants a 1 ns mean TTF at max LED intensity, i.e. a
+    // base rate of 1/maxIntensity per unit intensity; meet it by
+    // sizing the ensemble (too slow) or attenuating the excitation
+    // coupling (too fast). Overshooting instead would coarsen the
+    // TTF quantization (see bench_ablation_precision's clock
+    // sweep).
+    const double per_network_rate = eff / bright.mean();
+    const rsu::ret::QdLedBank bank;
+    const double target_rate = 1.0 / bank.maxIntensity();
+    std::printf("per-cascade bright rate: %.4f /ns; target base "
+                "rate %.4f /ns -> ",
+                per_network_rate, target_rate);
+    if (per_network_rate >= target_rate) {
+        std::printf("one cascade suffices; attenuate excitation "
+                    "coupling by %.1fx.\n",
+                    per_network_rate / target_rate);
+    } else {
+        std::printf("ensemble of %.0f cascades.\n",
+                    std::ceil(target_rate / per_network_rate));
+    }
+
+    rsu::core::RsuGConfig config;
+    config.circuit.base_rate_per_ns = target_rate;
+    rsu::core::RsuG unit(config, 7);
+    unit.initialize(4, 12.0);
+
+    rsu::core::EnergyInputs in;
+    in.neighbors = {0, 1, 1, 2};
+    in.data1 = 20;
+    uint8_t data2[4] = {20, 26, 14, 38};
+    const auto race = unit.raceDistribution(in, data2);
+    std::printf("\nGibbs race on the physically derived device "
+                "(4 labels):\n");
+    double z = 0.0;
+    double soft[4];
+    for (int i = 0; i < 4; ++i) {
+        soft[i] = std::exp(
+            -static_cast<double>(unit.labelEnergy(
+                static_cast<rsu::core::Label>(i), in, data2[i])) /
+            12.0);
+        z += soft[i];
+    }
+    for (int i = 0; i < 4; ++i) {
+        std::printf("  label %d: race %.3f vs softmax %.3f\n", i,
+                    race[i], soft[i] / z);
+    }
+    std::printf("\nThe physics layer changes only the absolute "
+                "time scale; the race probabilities — and hence "
+                "inference — depend on LED-programmed rate ratios, "
+                "which is why the emulation is faithful without "
+                "molecular detail.\n");
+    return 0;
+}

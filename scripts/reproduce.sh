@@ -1,0 +1,36 @@
+#!/bin/sh
+# Reproduce every paper table/figure and collect outputs.
+#
+# Usage: scripts/reproduce.sh [build-dir] [results-dir]
+set -e
+
+BUILD=${1:-build}
+RESULTS=${2:-results}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+
+cd "$ROOT"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+mkdir -p "$RESULTS"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" --output-on-failure \
+    | tee "$RESULTS/test_output.txt" | tail -2
+
+echo "== benchmarks =="
+for b in "$BUILD"/bench/*; do
+    name=$(basename "$b")
+    echo "-- $name"
+    (cd "$RESULTS" && "$ROOT/$b" > "$name.txt" 2>&1)
+done
+
+echo "== examples =="
+for e in "$BUILD"/examples/*; do
+    [ -f "$e" ] && [ -x "$e" ] || continue
+    name=$(basename "$e")
+    echo "-- $name"
+    (cd "$RESULTS" && "$ROOT/$e" > "example_$name.txt" 2>&1)
+done
+
+echo "done; outputs (tables, PGM images) are in $RESULTS/"

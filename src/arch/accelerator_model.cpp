@@ -1,0 +1,42 @@
+#include "arch/accelerator_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "arch/power_area.h"
+
+namespace rsu::arch {
+
+AcceleratorModel::AcceleratorModel(const AcceleratorConfig &config)
+    : config_(config)
+{
+    if (config_.mem_bw_gbs <= 0.0 || config_.frequency_ghz <= 0.0 ||
+        config_.bytes_per_unit_cycle <= 0.0)
+        throw std::invalid_argument("AcceleratorModel: bad "
+                                    "configuration");
+}
+
+double
+AcceleratorModel::totalSeconds(const Workload &w) const
+{
+    return static_cast<double>(w.pixels()) * w.bytes_per_pixel *
+           w.iterations / (config_.mem_bw_gbs * 1e9);
+}
+
+int
+AcceleratorModel::requiredUnits() const
+{
+    return static_cast<int>(std::round(
+        config_.mem_bw_gbs /
+        (config_.frequency_ghz * config_.bytes_per_unit_cycle)));
+}
+
+double
+AcceleratorModel::rsuPowerW(int feature_nm) const
+{
+    const RsuBudget unit = RsuPowerAreaModel::project(
+        feature_nm, config_.frequency_ghz * 1000.0);
+    return RsuPowerAreaModel::systemPowerW(unit, requiredUnits());
+}
+
+} // namespace rsu::arch

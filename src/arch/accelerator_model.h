@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Discrete-accelerator performance bound (paper section 8.2).
+ *
+ * A custom accelerator built from RSU-G units is bounded by DRAM
+ * bandwidth: each pixel's update consumes a fixed number of bytes
+ * per MCMC iteration (5 for segmentation, 54 for motion), so the
+ * best-case execution time is
+ *
+ *   time = pixels * iterations * bytes_per_pixel / bandwidth
+ *
+ * and the unit count needed to sustain that rate is
+ *
+ *   units = bandwidth / frequency / bytes_consumed_per_unit_cycle.
+ *
+ * The model also reports the aggregate RSU power at a target node
+ * (the paper's 336-unit accelerator draws 1.3 W of RSU power).
+ */
+
+#ifndef RSU_ARCH_ACCELERATOR_MODEL_H
+#define RSU_ARCH_ACCELERATOR_MODEL_H
+
+#include "arch/workload.h"
+
+namespace rsu::arch {
+
+/** Accelerator hardware parameters. */
+struct AcceleratorConfig
+{
+    double mem_bw_gbs = 336.0;      //!< DRAM bandwidth
+    double frequency_ghz = 1.0;     //!< RSU clock
+    double bytes_per_unit_cycle = 1.0; //!< consumption rate per unit
+};
+
+/** Bandwidth-bound accelerator model. */
+class AcceleratorModel
+{
+  public:
+    explicit AcceleratorModel(const AcceleratorConfig &config = {});
+
+    /** Best-case seconds for the full workload run. */
+    double totalSeconds(const Workload &w) const;
+
+    /** RSU-G units required to consume DRAM bandwidth. */
+    int requiredUnits() const;
+
+    /** Aggregate RSU power (W) for the required units at a node. */
+    double rsuPowerW(int feature_nm = 15) const;
+
+    const AcceleratorConfig &config() const { return config_; }
+
+  private:
+    AcceleratorConfig config_;
+};
+
+} // namespace rsu::arch
+
+#endif // RSU_ARCH_ACCELERATOR_MODEL_H

@@ -1,0 +1,83 @@
+#include "arch/power_area.h"
+
+#include <stdexcept>
+
+namespace rsu::arch {
+
+RsuBudget
+RsuPowerAreaModel::reference45nm()
+{
+    // Paper Tables 3-4, 45 nm column (590 MHz synthesis).
+    RsuBudget b;
+    b.logic_mw = 7.20;
+    b.ret_mw = 0.16;
+    b.lut_mw = 3.92;
+    b.logic_um2 = 2275.0;
+    b.ret_um2 = 1600.0;
+    b.lut_um2 = 1798.0;
+    return b;
+}
+
+RsuBudget
+RsuPowerAreaModel::project(int feature_nm, double freq_mhz)
+{
+    const RsuBudget ref = reference45nm();
+    const TechNode &from = nodeByFeature(45);
+    const TechNode &to = nodeByFeature(feature_nm);
+    constexpr double kRefMhz = 590.0;
+
+    RsuBudget b;
+    b.logic_mw =
+        scalePower(ref.logic_mw, from, kRefMhz, to, freq_mhz, false);
+    b.lut_mw =
+        scalePower(ref.lut_mw, from, kRefMhz, to, freq_mhz, true);
+    b.ret_mw = ref.ret_mw; // optics do not scale with CMOS
+    b.logic_um2 = scaleArea(ref.logic_um2, from, to, false);
+    b.lut_um2 = scaleArea(ref.lut_um2, from, to, true);
+    b.ret_um2 = ref.ret_um2;
+    return b;
+}
+
+double
+RsuPowerAreaModel::retCircuitAreaUm2()
+{
+    // SPAD ~1 um^2 plus four 16 x 25 um^2 QD-LEDs; the RET network
+    // ensemble (~N * 20 x 20 x 2 nm^3) layers above the SPAD at
+    // negligible footprint. The paper rounds to 400 um^2.
+    return 400.0;
+}
+
+double
+RsuPowerAreaModel::systemPowerW(const RsuBudget &unit, int units)
+{
+    return unit.totalPowerMw() * 1e-3 * static_cast<double>(units);
+}
+
+RsuBudget
+RsuPowerAreaModel::projectWidth(int feature_nm, double freq_mhz,
+                                int width, int circuits_per_lane)
+{
+    if (width < 1 || circuits_per_lane < 1)
+        throw std::invalid_argument("projectWidth: bad shape");
+    const RsuBudget g1 = project(feature_nm, freq_mhz);
+    const double k = static_cast<double>(width);
+    // The RSU-G1 reference integrates 4 RET circuits; rescale to
+    // the requested replication before widening.
+    const double circuit_scale =
+        static_cast<double>(circuits_per_lane) / 4.0;
+
+    RsuBudget b;
+    // One lane's datapath per lane plus a (K-1)-node selection
+    // comparator tree at ~15% of a lane's logic per node.
+    b.logic_mw = g1.logic_mw * (k + 0.15 * (k - 1.0));
+    b.logic_um2 = g1.logic_um2 * (k + 0.15 * (k - 1.0));
+    // LUT banked per lane (worst-case port scaling).
+    b.lut_mw = g1.lut_mw * k;
+    b.lut_um2 = g1.lut_um2 * k;
+    // Optics replicate exactly.
+    b.ret_mw = g1.ret_mw * k * circuit_scale;
+    b.ret_um2 = g1.ret_um2 * k * circuit_scale;
+    return b;
+}
+
+} // namespace rsu::arch

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * RSU-G1 power and area component model (paper Tables 3-4).
+ *
+ * The paper decomposes an RSU-G1 into three components:
+ *
+ *  - Logic: the synthesized CMOS datapath (energy unit, selection,
+ *    counters) — 7.20 mW / 2275 um^2 at 45 nm, 590 MHz;
+ *  - RET circuit: 4 replicated circuits of SPAD (~1 um^2) + four
+ *    QD-LEDs (~16 x 25 um^2) + the RET network ensemble layered
+ *    above the SPAD — 0.16 mW / 1600 um^2, *not* scaled with CMOS;
+ *  - LUT: the 256 x 4-bit intensity map SRAM — 3.92 mW / 1798 um^2
+ *    at 45 nm (Cacti).
+ *
+ * The 45 nm values are model inputs (they come from the paper's
+ * synthesis); projections to other nodes run through the technology
+ * scaling model, and system-level roll-ups (GPU augmentation,
+ * discrete accelerator) multiply by unit counts.
+ */
+
+#ifndef RSU_ARCH_POWER_AREA_H
+#define RSU_ARCH_POWER_AREA_H
+
+#include "arch/technology.h"
+
+namespace rsu::arch {
+
+/** Power/area of one RSU-G1 component set at some node. */
+struct RsuBudget
+{
+    double logic_mw;
+    double ret_mw;
+    double lut_mw;
+    double logic_um2;
+    double ret_um2;
+    double lut_um2;
+
+    double totalPowerMw() const { return logic_mw + ret_mw + lut_mw; }
+    double totalAreaUm2() const
+    {
+        return logic_um2 + ret_um2 + lut_um2;
+    }
+};
+
+/** RSU-G1 power/area estimator. */
+class RsuPowerAreaModel
+{
+  public:
+    /** 45 nm, 590 MHz synthesis reference values. */
+    static RsuBudget reference45nm();
+
+    /**
+     * Project the reference to @p feature_nm at @p freq_mhz. The
+     * RET circuit is optical and does not scale.
+     */
+    static RsuBudget project(int feature_nm, double freq_mhz);
+
+    /** Per-RET-circuit optics area (SPAD + 4 QD-LEDs), um^2. */
+    static double retCircuitAreaUm2();
+
+    /** Aggregate power (W) for @p units active RSU-G1 units. */
+    static double systemPowerW(const RsuBudget &unit, int units);
+
+    /**
+     * Project a K-wide RSU-G (the paper's section 9 "width and
+     * depth" exploration). Component scaling relative to RSU-G1:
+     *
+     *  - energy/selection logic replicates per lane, plus a
+     *    comparator tree of K-1 nodes (~15 % of a lane's logic
+     *    each);
+     *  - the intensity LUT needs one read port per lane; SRAM area
+     *    and access energy grow ~sqrt-linearly with ports, modeled
+     *    as replicated banks (worst case: x K);
+     *  - RET circuits: K lanes x @p circuits_per_lane replicas.
+     *
+     * @param width lane count K (RSU-G1..G64)
+     * @param circuits_per_lane replication (4 covers quiescence)
+     */
+    static RsuBudget projectWidth(int feature_nm, double freq_mhz,
+                                  int width,
+                                  int circuits_per_lane = 4);
+};
+
+} // namespace rsu::arch
+
+#endif // RSU_ARCH_POWER_AREA_H

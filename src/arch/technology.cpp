@@ -1,0 +1,56 @@
+#include "arch/technology.h"
+
+#include <stdexcept>
+
+namespace rsu::arch {
+
+const std::vector<TechNode> &
+technologyNodes()
+{
+    // 45 nm is the reference (the paper's synthesis node). The
+    // 15 nm factors are calibrated against the paper's Table 3-4
+    // projections; 32/22 nm interpolate foundry scaling trends.
+    static const std::vector<TechNode> nodes = {
+        // nm   vdd   l_cap    l_area   s_cap    s_area
+        {45, 1.10, 1.00000, 1.00000, 1.00000, 1.00000},
+        {32, 1.00, 0.62000, 0.55000, 0.66000, 0.60000},
+        {22, 0.92, 0.45000, 0.40000, 0.48000, 0.47000},
+        {15, 0.85, 0.31976, 0.28220, 0.35795, 0.36485},
+    };
+    return nodes;
+}
+
+const TechNode &
+nodeByFeature(int feature_nm)
+{
+    for (const auto &node : technologyNodes()) {
+        if (node.feature_nm == feature_nm)
+            return node;
+    }
+    throw std::invalid_argument("nodeByFeature: unsupported node " +
+                                std::to_string(feature_nm) + " nm");
+}
+
+double
+scalePower(double power_mw, const TechNode &from, double from_mhz,
+           const TechNode &to, double to_mhz, bool sram)
+{
+    if (from_mhz <= 0.0 || to_mhz <= 0.0)
+        throw std::invalid_argument("scalePower: bad frequency");
+    const double cap_ratio = sram ? to.sram_cap / from.sram_cap
+                                  : to.logic_cap / from.logic_cap;
+    const double v_ratio = to.vdd / from.vdd;
+    return power_mw * cap_ratio * v_ratio * v_ratio *
+           (to_mhz / from_mhz);
+}
+
+double
+scaleArea(double area_um2, const TechNode &from, const TechNode &to,
+          bool sram)
+{
+    const double ratio = sram ? to.sram_area / from.sram_area
+                              : to.logic_area / from.logic_area;
+    return area_um2 * ratio;
+}
+
+} // namespace rsu::arch

@@ -1,0 +1,133 @@
+#include "core/rsu_units.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ret/ttf_timer.h"
+
+namespace rsu::core {
+
+RsuExponential::RsuExponential(
+    const rsu::ret::RetCircuitConfig &circuit, uint64_t seed)
+    : rng_(seed), circuit_(circuit)
+{
+}
+
+double
+RsuExponential::setRate(double rate_per_ns)
+{
+    if (rate_per_ns <= 0.0)
+        throw std::invalid_argument("RsuExponential: rate must be "
+                                    "positive");
+    const double unit_rate = circuit_.network().effectiveRate();
+    const double target_intensity = rate_per_ns / unit_rate;
+    code_ = circuit_.leds().nearestCode(target_intensity);
+    if (code_ == 0)
+        code_ = 0x01; // dimmest achievable, never "off"
+    return achievedRate();
+}
+
+double
+RsuExponential::minRate() const
+{
+    return circuit_.network().effectiveRate() *
+           circuit_.leds().minIntensity();
+}
+
+double
+RsuExponential::maxRate() const
+{
+    return circuit_.network().effectiveRate() *
+           circuit_.leds().maxIntensity();
+}
+
+uint8_t
+RsuExponential::sample()
+{
+    ++samples_;
+    return circuit_.sample(rng_, code_);
+}
+
+double
+RsuExponential::achievedRate() const
+{
+    return circuit_.detectionRate(code_);
+}
+
+std::vector<double>
+RsuExponential::outputDistribution() const
+{
+    std::vector<double> pmf(256, 0.0);
+    const double rate = achievedRate();
+    for (int q = 0; q < 256; ++q) {
+        pmf[q] = circuit_.timer().tickProbability(
+            rate, static_cast<uint8_t>(q));
+    }
+    return pmf;
+}
+
+RsuBernoulli::RsuBernoulli(const rsu::ret::RetCircuitConfig &circuit,
+                           uint64_t seed)
+    : rng_(seed), channel0_(circuit), channel1_(circuit)
+{
+    rng_.jump(); // decorrelate from sibling units with equal seeds
+}
+
+double
+RsuBernoulli::setProbability(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        throw std::invalid_argument("RsuBernoulli: p must be in "
+                                    "(0, 1)");
+    const double max_i = channel1_.leds().maxIntensity();
+    code1_ = channel1_.leds().nearestCode(p * max_i);
+    code0_ = channel0_.leds().nearestCode((1.0 - p) * max_i);
+    if (code1_ == 0)
+        code1_ = 0x01;
+    if (code0_ == 0)
+        code0_ = 0x01;
+    return achievedProbability();
+}
+
+int
+RsuBernoulli::sample()
+{
+    for (;;) {
+        ++samples_;
+        const uint8_t t1 = channel1_.sample(rng_, code1_);
+        const uint8_t t0 = channel0_.sample(rng_, code0_);
+        const bool sat1 = t1 == rsu::ret::kTtfSaturated;
+        const bool sat0 = t0 == rsu::ret::kTtfSaturated;
+        if ((sat1 && sat0) || t1 == t0)
+            continue; // unresolved: re-arm and re-fire
+        return t1 < t0 ? 1 : 0;
+    }
+}
+
+double
+RsuBernoulli::achievedProbability() const
+{
+    // A sample resolves when the quantized times differ and at
+    // least one channel fired; ties and double-saturations re-fire.
+    // Channel 1 wins at tick q (< 255) when channel 0 lands
+    // strictly later — including in the saturated bin, so the
+    // opponent term is the plain survival P(T > (q+1) * tick).
+    const double r1 = channel1_.detectionRate(code1_);
+    const double r0 = channel0_.detectionRate(code0_);
+    const auto &timer = channel1_.timer();
+
+    double win1 = 0.0, win0 = 0.0;
+    for (int q = 0; q < rsu::ret::kTtfSaturated; ++q) {
+        const double s0 =
+            std::exp(-r0 * timer.tickNs() * (q + 1));
+        const double s1 =
+            std::exp(-r1 * timer.tickNs() * (q + 1));
+        win1 += timer.tickProbability(r1, static_cast<uint8_t>(q)) *
+                s0;
+        win0 += timer.tickProbability(r0, static_cast<uint8_t>(q)) *
+                s1;
+    }
+    return win1 / (win1 + win0);
+}
+
+} // namespace rsu::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The generic RSU family beyond Gibbs sampling.
+ *
+ * The paper's section 3 defines an RSU as *any* hybrid CMOS/RET
+ * functional unit of the shape map-parameters -> fire RET circuit
+ * -> map sample back, and names exponential and Bernoulli samplers
+ * as composable building blocks (after Wang, Lebeck & Dwyer [42]).
+ * RSU-G is the instance the paper evaluates; this header provides
+ * the two other members the text describes, built from the same
+ * device substrate:
+ *
+ *  - RsuExponential (RSU-E): parameterize a decay rate with the
+ *    8-bit rate word -> 4-bit LED code path, fire, and return the
+ *    quantized time-to-fluorescence *as the sample*. The output is
+ *    an 8-bit fixed-point exponential variate whose scale is the
+ *    TTF tick.
+ *
+ *  - RsuBernoulli (RSU-B): two racing channels parameterized by an
+ *    8-bit probability word; the output bit says which channel
+ *    fired first. The integrated equivalent of the macro-scale
+ *    RSU-G2 prototype.
+ *
+ * Both expose analytic oracles for their quantized output
+ * distributions so property tests can verify them exactly.
+ */
+
+#ifndef RSU_CORE_RSU_UNITS_H
+#define RSU_CORE_RSU_UNITS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ret/ret_circuit.h"
+#include "rng/xoshiro256.h"
+
+namespace rsu::core {
+
+/** Exponential sampling unit (RSU-E). */
+class RsuExponential
+{
+  public:
+    /**
+     * @param circuit device parameters (LED ladder, clock, SPAD)
+     * @param seed entropy seed
+     */
+    explicit RsuExponential(
+        const rsu::ret::RetCircuitConfig &circuit = {},
+        uint64_t seed = 1);
+
+    /**
+     * Program the rate: @p rate_per_ns is clamped to the LED
+     * ladder's achievable range and quantized to the nearest code.
+     * Returns the achieved (post-quantization) rate.
+     */
+    double setRate(double rate_per_ns);
+
+    /** Achievable rate bounds of the device. */
+    double minRate() const;
+    double maxRate() const;
+
+    /**
+     * Draw one sample: the quantized TTF in ticks (0..254), or 255
+     * when the register saturates. Multiply by tickNs() for time
+     * units.
+     */
+    uint8_t sample();
+
+    /** Tick width in nanoseconds. */
+    double tickNs() const { return circuit_.timer().tickNs(); }
+
+    /** Achieved rate after quantization (per ns). */
+    double achievedRate() const;
+
+    /** Exact pmf of the quantized output (257 entries would alias;
+     * 256: index = tick value, last bin = saturation). */
+    std::vector<double> outputDistribution() const;
+
+    /** Samples drawn so far. */
+    uint64_t samples() const { return samples_; }
+
+  private:
+    rsu::rng::Xoshiro256 rng_;
+    rsu::ret::RetCircuit circuit_;
+    uint8_t code_ = 0x0f;
+    uint64_t samples_ = 0;
+};
+
+/** Bernoulli sampling unit (RSU-B). */
+class RsuBernoulli
+{
+  public:
+    explicit RsuBernoulli(
+        const rsu::ret::RetCircuitConfig &circuit = {},
+        uint64_t seed = 1);
+
+    /**
+     * Program P(output = 1) ~ @p p by splitting the LED ladder
+     * between the two channels: channel 1 gets the code nearest to
+     * p * maxIntensity, channel 0 the code nearest to
+     * (1-p) * maxIntensity. Returns the achieved probability
+     * (including tie/saturation effects).
+     */
+    double setProbability(double p);
+
+    /** Draw one bit. */
+    int sample();
+
+    /** Exact achieved P(1) under quantization and the re-fire-on-
+     * tie rule (the analytic oracle). */
+    double achievedProbability() const;
+
+    uint64_t samples() const { return samples_; }
+
+  private:
+    rsu::rng::Xoshiro256 rng_;
+    rsu::ret::RetCircuit channel0_;
+    rsu::ret::RetCircuit channel1_;
+    uint8_t code0_ = 0x0f;
+    uint8_t code1_ = 0x0f;
+    uint64_t samples_ = 0;
+};
+
+} // namespace rsu::core
+
+#endif // RSU_CORE_RSU_UNITS_H

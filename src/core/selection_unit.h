@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Compare-and-update selection block.
+ *
+ * The final RSU-G pipeline stage (paper section 5.2, "Selection"):
+ * keeps the shortest quantized time-to-fluorescence seen so far,
+ * together with the label that produced it. The hardware comparison
+ * is *strictly less than*, so on a tie the earlier-observed label is
+ * kept — and because the down counter iterates labels from M-1 to 0,
+ * ties favour higher label indices. This ordering quirk is part of
+ * the architectural contract and is pinned by tests.
+ */
+
+#ifndef RSU_CORE_SELECTION_UNIT_H
+#define RSU_CORE_SELECTION_UNIT_H
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "ret/ttf_timer.h"
+
+namespace rsu::core {
+
+/** Running-minimum register pair (TTF, label). */
+class SelectionUnit
+{
+  public:
+    SelectionUnit() { reset(); }
+
+    /** Prepare for a new random-variable evaluation. */
+    void
+    reset()
+    {
+        best_ttf_ = rsu::ret::kTtfSaturated;
+        best_label_ = 0;
+        observed_ = false;
+    }
+
+    /** Present one (label, quantized TTF) observation. */
+    void
+    observe(Label label, uint8_t ttf)
+    {
+        // Strict comparison: ties keep the incumbent. The first
+        // observation always lands, even if saturated, so that a
+        // fully-saturated evaluation still returns a valid label.
+        if (!observed_ || ttf < best_ttf_) {
+            best_ttf_ = ttf;
+            best_label_ = label;
+            observed_ = true;
+        }
+    }
+
+    /** Winning label so far. */
+    Label bestLabel() const { return best_label_; }
+
+    /** Winning quantized TTF so far. */
+    uint8_t bestTtf() const { return best_ttf_; }
+
+    /** True once at least one observation has been made. */
+    bool hasObservation() const { return observed_; }
+
+  private:
+    uint8_t best_ttf_;
+    Label best_label_;
+    bool observed_;
+};
+
+} // namespace rsu::core
+
+#endif // RSU_CORE_SELECTION_UNIT_H

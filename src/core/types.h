@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared value types of the RSU-G datapath.
+ *
+ * The RSU-G exchanges *6-bit unsigned labels* with software (paper
+ * section 5.1): up to 64 labels, where a label is either a scalar
+ * (low 3 bits significant) or a packed 2-D vector (2 x 3 bits, used
+ * by motion estimation). Energies are 8-bit unsigned (section 4.4).
+ */
+
+#ifndef RSU_CORE_TYPES_H
+#define RSU_CORE_TYPES_H
+
+#include <cstdint>
+
+namespace rsu::core {
+
+/** A 6-bit random-variable label, carried in a byte. */
+using Label = uint8_t;
+
+/** Maximum number of labels an RSU-G supports. */
+constexpr int kMaxLabels = 64;
+
+/** Mask for valid label bits. */
+constexpr Label kLabelMask = 0x3f;
+
+/** An 8-bit clique-potential energy. */
+using Energy = uint8_t;
+
+/** Saturation value of the energy datapath. */
+constexpr int kEnergyMax = 255;
+
+/** Pack a 2-D vector label from two 3-bit components. */
+constexpr Label
+packVectorLabel(int x1, int x2)
+{
+    return static_cast<Label>(((x2 & 0x7) << 3) | (x1 & 0x7));
+}
+
+/** First (low) 3-bit component of a label. */
+constexpr int
+labelX1(Label label)
+{
+    return label & 0x7;
+}
+
+/** Second (high) 3-bit component of a label. */
+constexpr int
+labelX2(Label label)
+{
+    return (label >> 3) & 0x7;
+}
+
+} // namespace rsu::core
+
+#endif // RSU_CORE_TYPES_H

@@ -1,0 +1,208 @@
+#include "mrf/belief_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rsu::mrf {
+
+namespace {
+
+/** Opposite lattice direction (N<->S, W<->E). */
+inline int
+opposite(int dir)
+{
+    return dir ^ 1;
+}
+
+} // namespace
+
+BeliefPropagation::BeliefPropagation(const GridMrf &mrf,
+                                     BpConfig config)
+    : mrf_(mrf), config_(config), m_(mrf.numLabels())
+{
+    if (config_.max_iterations < 1)
+        throw std::invalid_argument("BeliefPropagation: need "
+                                    "iterations");
+    if (config_.damping < 0.0 || config_.damping >= 1.0)
+        throw std::invalid_argument("BeliefPropagation: damping "
+                                    "must be in [0, 1)");
+    initPotentials();
+    messages_.assign(static_cast<size_t>(mrf_.size()) * 4 * m_,
+                     1.0 / m_);
+    scratch_.resize(m_);
+}
+
+int
+BeliefPropagation::edgeIndex(int x, int y, int dir) const
+{
+    return (mrf_.index(x, y) * 4 + dir) * m_;
+}
+
+void
+BeliefPropagation::initPotentials()
+{
+    const double t = mrf_.temperature();
+    const auto &unit = mrf_.energyUnit();
+
+    // Per-site singleton factors psi(x) = exp(-E_single / T),
+    // using the hardware's exact integer singleton energies. (BP
+    // factorizes per clique, so the datapath's joint 8-bit
+    // saturation — a whole-sum effect — is not representable; see
+    // header.)
+    singleton_.resize(static_cast<size_t>(mrf_.size()) * m_);
+    for (int y = 0; y < mrf_.height(); ++y) {
+        for (int x = 0; x < mrf_.width(); ++x) {
+            const uint8_t d1 = mrf_.singleton().data1(x, y);
+            for (int i = 0; i < m_; ++i) {
+                const int e = unit.singleton(
+                    d1,
+                    mrf_.singleton().data2(x, y, mrf_.codeOf(i)));
+                singleton_[mrf_.index(x, y) * m_ + i] =
+                    std::exp(-static_cast<double>(e) / t);
+            }
+        }
+    }
+
+    // Homogeneous pairwise factor (depends only on label codes).
+    pairwise_.resize(static_cast<size_t>(m_) * m_);
+    for (int i = 0; i < m_; ++i) {
+        for (int j = 0; j < m_; ++j) {
+            const int e =
+                unit.doubleton(mrf_.codeOf(i), mrf_.codeOf(j));
+            pairwise_[i * m_ + j] =
+                std::exp(-static_cast<double>(e) / t);
+        }
+    }
+}
+
+int
+BeliefPropagation::run()
+{
+    const int w = mrf_.width(), h = mrf_.height();
+    // Neighbour offsets in the N/S/W/E order of EnergyInputs.
+    const int dx[4] = {0, 0, -1, 1};
+    const int dy[4] = {-1, 1, 0, 0};
+
+    for (int iter = 1; iter <= config_.max_iterations; ++iter) {
+        double max_delta = 0.0;
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                // Pre-product of singleton and all incoming
+                // messages at this site.
+                for (int i = 0; i < m_; ++i)
+                    scratch_[i] =
+                        singleton_[mrf_.index(x, y) * m_ + i];
+                for (int in_dir = 0; in_dir < 4; ++in_dir) {
+                    const int nx = x + dx[in_dir];
+                    const int ny = y + dy[in_dir];
+                    if (nx < 0 || nx >= w || ny < 0 || ny >= h)
+                        continue;
+                    // Message from that neighbour toward us
+                    // travels in the opposite direction slot.
+                    const double *msg =
+                        &messages_[edgeIndex(nx, ny,
+                                             opposite(in_dir))];
+                    for (int i = 0; i < m_; ++i)
+                        scratch_[i] *= msg[i];
+                }
+
+                // Emit one message per valid outgoing direction.
+                for (int dir = 0; dir < 4; ++dir) {
+                    const int nx = x + dx[dir];
+                    const int ny = y + dy[dir];
+                    if (nx < 0 || nx >= w || ny < 0 || ny >= h)
+                        continue;
+                    const double *back =
+                        &messages_[edgeIndex(nx, ny,
+                                             opposite(dir))];
+                    double *out = &messages_[edgeIndex(x, y, dir)];
+
+                    double total = 0.0;
+                    std::vector<double> fresh(m_);
+                    for (int j = 0; j < m_; ++j) {
+                        double acc = 0.0;
+                        for (int i = 0; i < m_; ++i) {
+                            // Divide out the return message so the
+                            // pre-product excludes it.
+                            const double contrib =
+                                scratch_[i] / back[i] *
+                                pairwise_[i * m_ + j];
+                            if (config_.max_product)
+                                acc = std::max(acc, contrib);
+                            else
+                                acc += contrib;
+                        }
+                        fresh[j] = acc;
+                        total += acc;
+                    }
+                    for (int j = 0; j < m_; ++j) {
+                        double v = fresh[j] / total;
+                        if (config_.damping > 0.0) {
+                            v = config_.damping * out[j] +
+                                (1.0 - config_.damping) * v;
+                        }
+                        max_delta = std::max(
+                            max_delta, std::abs(v - out[j]));
+                        out[j] = v;
+                    }
+                    ++message_updates_;
+                }
+            }
+        }
+        if (max_delta < config_.tolerance) {
+            converged_ = true;
+            return iter;
+        }
+    }
+    converged_ = false;
+    return config_.max_iterations;
+}
+
+std::vector<double>
+BeliefPropagation::belief(int x, int y) const
+{
+    const int w = mrf_.width(), h = mrf_.height();
+    const int dx[4] = {0, 0, -1, 1};
+    const int dy[4] = {-1, 1, 0, 0};
+
+    std::vector<double> b(m_);
+    for (int i = 0; i < m_; ++i)
+        b[i] = singleton_[mrf_.index(x, y) * m_ + i];
+    for (int in_dir = 0; in_dir < 4; ++in_dir) {
+        const int nx = x + dx[in_dir];
+        const int ny = y + dy[in_dir];
+        if (nx < 0 || nx >= w || ny < 0 || ny >= h)
+            continue;
+        const double *msg =
+            &messages_[edgeIndex(nx, ny, opposite(in_dir))];
+        for (int i = 0; i < m_; ++i)
+            b[i] *= msg[i];
+    }
+    double total = 0.0;
+    for (double v : b)
+        total += v;
+    for (double &v : b)
+        v /= total;
+    return b;
+}
+
+std::vector<Label>
+BeliefPropagation::decode() const
+{
+    std::vector<Label> labels(mrf_.size());
+    for (int y = 0; y < mrf_.height(); ++y) {
+        for (int x = 0; x < mrf_.width(); ++x) {
+            const auto b = belief(x, y);
+            int best = 0;
+            for (int i = 1; i < m_; ++i) {
+                if (b[i] > b[best])
+                    best = i;
+            }
+            labels[mrf_.index(x, y)] = mrf_.codeOf(best);
+        }
+    }
+    return labels;
+}
+
+} // namespace rsu::mrf

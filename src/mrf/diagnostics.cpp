@@ -1,0 +1,109 @@
+#include "mrf/diagnostics.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rsu::mrf {
+
+double
+gelmanRubin(const std::vector<std::vector<double>> &chains)
+{
+    const size_t m = chains.size();
+    if (m < 2)
+        throw std::invalid_argument("gelmanRubin: need >= 2 chains");
+    const size_t n = chains[0].size();
+    if (n < 2)
+        throw std::invalid_argument("gelmanRubin: need >= 2 samples "
+                                    "per chain");
+    for (const auto &c : chains) {
+        if (c.size() != n)
+            throw std::invalid_argument("gelmanRubin: unequal chain "
+                                        "lengths");
+    }
+
+    // Per-chain means and variances.
+    std::vector<double> mean(m, 0.0), var(m, 0.0);
+    double grand = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+        for (double x : chains[j])
+            mean[j] += x;
+        mean[j] /= static_cast<double>(n);
+        grand += mean[j];
+        for (double x : chains[j]) {
+            const double d = x - mean[j];
+            var[j] += d * d;
+        }
+        var[j] /= static_cast<double>(n - 1);
+    }
+    grand /= static_cast<double>(m);
+
+    // Between-chain variance B and within-chain variance W.
+    double b = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+        const double d = mean[j] - grand;
+        b += d * d;
+    }
+    b *= static_cast<double>(n) / static_cast<double>(m - 1);
+    double w = 0.0;
+    for (size_t j = 0; j < m; ++j)
+        w += var[j];
+    w /= static_cast<double>(m);
+
+    if (w <= 0.0) {
+        // Degenerate chains (e.g. frozen at one value): agree iff
+        // the means agree.
+        return b <= 0.0 ? 1.0
+                        : std::numeric_limits<double>::infinity();
+    }
+
+    const double nd = static_cast<double>(n);
+    const double var_plus = (nd - 1.0) / nd * w + b / nd;
+    return std::sqrt(var_plus / w);
+}
+
+double
+autocorrelationTime(const std::vector<double> &chain)
+{
+    const size_t n = chain.size();
+    if (n < 4)
+        throw std::invalid_argument("autocorrelationTime: chain too "
+                                    "short");
+
+    double mean = 0.0;
+    for (double x : chain)
+        mean += x;
+    mean /= static_cast<double>(n);
+
+    double c0 = 0.0;
+    for (double x : chain) {
+        const double d = x - mean;
+        c0 += d * d;
+    }
+    c0 /= static_cast<double>(n);
+    if (c0 <= 0.0)
+        return 1.0; // constant chain: every sample is "the" sample
+
+    double tau = 1.0;
+    for (size_t lag = 1; lag < n / 2; ++lag) {
+        double ck = 0.0;
+        for (size_t i = 0; i + lag < n; ++i) {
+            ck += (chain[i] - mean) * (chain[i + lag] - mean);
+        }
+        ck /= static_cast<double>(n - lag);
+        const double rho = ck / c0;
+        if (rho <= 0.0)
+            break; // initial positive sequence ends
+        tau += 2.0 * rho;
+    }
+    return tau;
+}
+
+double
+effectiveSampleSize(const std::vector<double> &chain)
+{
+    return static_cast<double>(chain.size()) /
+           autocorrelationTime(chain);
+}
+
+} // namespace rsu::mrf

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * MCMC convergence diagnostics.
+ *
+ * The paper runs fixed iteration budgets (5000 for segmentation,
+ * 400 for motion); a library consumer needs to know whether such a
+ * budget suffices for *their* model. Two standard diagnostics are
+ * provided, both operating on scalar chain statistics (typically
+ * the energy trajectory the estimator already records):
+ *
+ *  - Gelman-Rubin potential scale reduction factor (R-hat) across
+ *    multiple independent chains: values near 1 indicate the
+ *    chains have mixed into the same distribution;
+ *  - integrated autocorrelation time of a single chain: the
+ *    effective thinning interval between independent samples.
+ */
+
+#ifndef RSU_MRF_DIAGNOSTICS_H
+#define RSU_MRF_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rsu::mrf {
+
+/**
+ * Gelman-Rubin potential scale reduction factor.
+ *
+ * @param chains two or more equally long scalar chains (burn-in
+ *        already removed); each needs at least two samples
+ * @return R-hat; ~1.0 when the chains agree, > 1.1 conventionally
+ *         indicates non-convergence
+ */
+double gelmanRubin(const std::vector<std::vector<double>> &chains);
+
+/**
+ * Integrated autocorrelation time of a scalar chain by the
+ * initial-positive-sequence estimator (Geyer): tau = 1 + 2 *
+ * sum of autocorrelations until they first turn negative.
+ *
+ * @return tau >= 1; effective sample size is length / tau
+ */
+double autocorrelationTime(const std::vector<double> &chain);
+
+/** Effective sample size: chain length / autocorrelation time. */
+double effectiveSampleSize(const std::vector<double> &chain);
+
+} // namespace rsu::mrf
+
+#endif // RSU_MRF_DIAGNOSTICS_H

@@ -1,0 +1,63 @@
+#include "mrf/estimator.h"
+
+#include <stdexcept>
+
+namespace rsu::mrf {
+
+MarginalMapEstimator::MarginalMapEstimator(GridMrf &mrf, int burn_in)
+    : mrf_(mrf), burn_in_(burn_in)
+{
+    if (burn_in_ < 0)
+        throw std::invalid_argument("MarginalMapEstimator: negative "
+                                    "burn-in");
+    histogram_.assign(mrf_.size(),
+                      std::vector<uint32_t>(mrf_.numLabels(), 0));
+}
+
+void
+MarginalMapEstimator::run(int iterations,
+                          const std::function<void()> &sweep)
+{
+    for (int it = 0; it < iterations; ++it) {
+        sweep();
+        energy_.push_back(mrf_.totalEnergy());
+        if (static_cast<int>(energy_.size()) <= burn_in_)
+            continue;
+        const auto &labels = mrf_.labels();
+        for (int i = 0; i < mrf_.size(); ++i)
+            ++histogram_[i][mrf_.indexOfCode(labels[i])];
+        ++retained_;
+    }
+}
+
+std::vector<Label>
+MarginalMapEstimator::estimate() const
+{
+    std::vector<Label> result(mrf_.size(), 0);
+    for (int i = 0; i < mrf_.size(); ++i) {
+        const auto &h = histogram_[i];
+        int best = 0;
+        for (int l = 1; l < mrf_.numLabels(); ++l) {
+            if (h[l] > h[best])
+                best = l;
+        }
+        result[i] = mrf_.codeOf(best);
+    }
+    return result;
+}
+
+std::vector<double>
+MarginalMapEstimator::empiricalMarginal(int x, int y) const
+{
+    const auto &h = histogram_[mrf_.index(x, y)];
+    std::vector<double> probs(mrf_.numLabels(), 0.0);
+    if (retained_ == 0)
+        return probs;
+    for (int l = 0; l < mrf_.numLabels(); ++l) {
+        probs[l] = static_cast<double>(h[l]) /
+                   static_cast<double>(retained_);
+    }
+    return probs;
+}
+
+} // namespace rsu::mrf

@@ -1,0 +1,74 @@
+#include "mrf/exact.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsu::mrf {
+
+ExactInference::ExactInference(const GridMrf &mrf, uint64_t max_states)
+    : width_(mrf.width()), num_labels_(mrf.numLabels())
+{
+    const int n = mrf.size();
+    const int m = num_labels_;
+
+    // Guard the exponential enumeration.
+    double states = 1.0;
+    for (int i = 0; i < n; ++i) {
+        states *= m;
+        if (states > static_cast<double>(max_states))
+            throw std::invalid_argument("ExactInference: state space "
+                                        "exceeds budget");
+    }
+
+    // Work on a scratch copy so the caller's labelling survives.
+    GridMrf scratch(mrf.config(), mrf.singleton());
+
+    marginals_.assign(n, std::vector<double>(m, 0.0));
+    map_.assign(n, 0);
+
+    std::vector<uint8_t> current(n, 0); // candidate indices
+    std::vector<Label> codes(n);
+    double best_weight = -1.0;
+    double energy_acc = 0.0;
+
+    for (;;) {
+        for (int i = 0; i < n; ++i)
+            codes[i] = mrf.codeOf(current[i]);
+        scratch.setLabels(codes);
+        const int64_t e = scratch.totalEnergy();
+        const double w = std::exp(-static_cast<double>(e) /
+                                  mrf.temperature());
+        partition_ += w;
+        energy_acc += w * static_cast<double>(e);
+        for (int i = 0; i < n; ++i)
+            marginals_[i][current[i]] += w;
+        if (w > best_weight) {
+            best_weight = w;
+            map_ = codes;
+        }
+
+        // Odometer increment over the joint state space.
+        int pos = 0;
+        while (pos < n) {
+            if (++current[pos] < m)
+                break;
+            current[pos] = 0;
+            ++pos;
+        }
+        if (pos == n)
+            break;
+    }
+
+    for (auto &row : marginals_)
+        for (double &p : row)
+            p /= partition_;
+    mean_energy_ = energy_acc / partition_;
+}
+
+const std::vector<double> &
+ExactInference::marginal(int x, int y) const
+{
+    return marginals_[y * width_ + x];
+}
+
+} // namespace rsu::mrf

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Brute-force inference oracle for tiny MRFs.
+ *
+ * Enumerates every joint labelling of a small lattice and computes
+ * the exact Boltzmann distribution p(x) proportional to
+ * exp(-E(x)/T) under the hardware energy functions. Provides exact
+ * per-site marginals, the joint MAP, and the partition function —
+ * the ground truth the MCMC property tests converge against.
+ *
+ * Complexity is num_labels^size; callers must keep lattices tiny
+ * (the constructor enforces a state-count budget).
+ */
+
+#ifndef RSU_MRF_EXACT_H
+#define RSU_MRF_EXACT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mrf/grid_mrf.h"
+
+namespace rsu::mrf {
+
+/** Exhaustive-enumeration inference results. */
+class ExactInference
+{
+  public:
+    /**
+     * Enumerate @p mrf's joint distribution.
+     * @param mrf model (its current labelling is left untouched)
+     * @param max_states enumeration budget guard
+     */
+    explicit ExactInference(const GridMrf &mrf,
+                            uint64_t max_states = 1ULL << 24);
+
+    /** Exact marginal distribution of site (x, y). */
+    const std::vector<double> &marginal(int x, int y) const;
+
+    /** Exact joint-MAP labelling. */
+    const std::vector<Label> &mapLabels() const { return map_; }
+
+    /** Partition function (sum of unnormalized weights). */
+    double partition() const { return partition_; }
+
+    /** Exact mean total energy under the Boltzmann distribution. */
+    double meanEnergy() const { return mean_energy_; }
+
+  private:
+    int width_;
+    int num_labels_;
+    std::vector<std::vector<double>> marginals_; // [site][label]
+    std::vector<Label> map_;
+    double partition_ = 0.0;
+    double mean_energy_ = 0.0;
+};
+
+} // namespace rsu::mrf
+
+#endif // RSU_MRF_EXACT_H

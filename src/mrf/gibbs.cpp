@@ -1,0 +1,55 @@
+#include "mrf/gibbs.h"
+
+#include <cmath>
+
+#include "rng/discrete.h"
+
+namespace rsu::mrf {
+
+GibbsSampler::GibbsSampler(GridMrf &mrf, uint64_t seed,
+                           Schedule schedule)
+    : mrf_(mrf), rng_(seed), schedule_(schedule),
+      weights_(mrf.numLabels())
+{
+}
+
+Label
+GibbsSampler::updateSite(int x, int y)
+{
+    const int m = mrf_.numLabels();
+    const double t = mrf_.temperature();
+    EnergyInputs in = mrf_.inputsAt(x, y);
+    for (int i = 0; i < m; ++i) {
+        const Label code = mrf_.codeOf(i);
+        in.data2 = mrf_.singleton().data2(x, y, code);
+        const Energy e = mrf_.energyUnit().evaluate(code, in);
+        weights_[i] = std::exp(-static_cast<double>(e) / t);
+    }
+    work_.energy_evals += m;
+    work_.exp_calls += m;
+
+    const int choice =
+        rsu::rng::sampleDiscreteLinear(rng_, weights_.data(), m);
+    ++work_.random_draws;
+    ++work_.site_updates;
+
+    const Label l = mrf_.codeOf(choice);
+    mrf_.setLabel(x, y, l);
+    return l;
+}
+
+void
+GibbsSampler::sweep()
+{
+    forEachSite(mrf_.width(), mrf_.height(), schedule_,
+                [this](int x, int y) { updateSite(x, y); });
+}
+
+void
+GibbsSampler::run(int n)
+{
+    for (int i = 0; i < n; ++i)
+        sweep();
+}
+
+} // namespace rsu::mrf

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Software-reference Gibbs sampler.
+ *
+ * The conventional-processor baseline the paper measures against:
+ * per site, compute the M conditional energies, exponentiate at the
+ * model temperature, and draw from the normalized discrete
+ * distribution with a linear CDF scan — the straightforward C/CUDA
+ * inner loop of a standard MCMC solver (paper section 8.1).
+ *
+ * Work counters record exactly how many energy evaluations, exp()
+ * calls and random draws a sweep performs; the architecture models
+ * consume these to cost the baseline implementations.
+ */
+
+#ifndef RSU_MRF_GIBBS_H
+#define RSU_MRF_GIBBS_H
+
+#include <cstdint>
+
+#include "mrf/grid_mrf.h"
+#include "mrf/schedule.h"
+#include "rng/xoshiro256.h"
+
+namespace rsu::mrf {
+
+/** Work performed by a sampler (inputs to the timing models). */
+struct SamplerWork
+{
+    uint64_t site_updates = 0;
+    uint64_t energy_evals = 0;  //!< per-candidate energy computations
+    uint64_t exp_calls = 0;     //!< transcendental evaluations
+    uint64_t random_draws = 0;  //!< uniform variates consumed
+};
+
+/** Exact full-conditional Gibbs sweeps over a GridMrf. */
+class GibbsSampler
+{
+  public:
+    /**
+     * @param mrf model to sample (state is mutated in place)
+     * @param seed entropy seed
+     * @param schedule site visit order
+     */
+    GibbsSampler(GridMrf &mrf, uint64_t seed,
+                 Schedule schedule = Schedule::Checkerboard);
+
+    /** Resample one site from its full conditional. */
+    Label updateSite(int x, int y);
+
+    /** One MCMC iteration: every site updated once. */
+    void sweep();
+
+    /** Run @p n sweeps. */
+    void run(int n);
+
+    const SamplerWork &work() const { return work_; }
+    rsu::rng::Xoshiro256 &rng() { return rng_; }
+
+  private:
+    GridMrf &mrf_;
+    rsu::rng::Xoshiro256 rng_;
+    Schedule schedule_;
+    SamplerWork work_;
+    std::vector<double> weights_; // scratch, sized num_labels
+};
+
+} // namespace rsu::mrf
+
+#endif // RSU_MRF_GIBBS_H

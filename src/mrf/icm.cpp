@@ -1,0 +1,51 @@
+#include "mrf/icm.h"
+
+namespace rsu::mrf {
+
+IcmSolver::IcmSolver(GridMrf &mrf, Schedule schedule)
+    : mrf_(mrf), schedule_(schedule)
+{
+}
+
+int
+IcmSolver::sweep()
+{
+    int changed = 0;
+    forEachSite(mrf_.width(), mrf_.height(), schedule_,
+                [&](int x, int y) {
+                    const Label current = mrf_.label(x, y);
+                    Label best = current;
+                    Energy best_e =
+                        mrf_.conditionalEnergy(x, y, current);
+                    for (int i = 0; i < mrf_.numLabels(); ++i) {
+                        const Label cand = mrf_.codeOf(i);
+                        if (cand == current)
+                            continue;
+                        const Energy e =
+                            mrf_.conditionalEnergy(x, y, cand);
+                        if (e < best_e) {
+                            best_e = e;
+                            best = cand;
+                        }
+                    }
+                    work_.energy_evals += mrf_.numLabels();
+                    ++work_.site_updates;
+                    if (best != current) {
+                        mrf_.setLabel(x, y, best);
+                        ++changed;
+                    }
+                });
+    return changed;
+}
+
+int
+IcmSolver::solve(int max_sweeps)
+{
+    for (int i = 1; i <= max_sweeps; ++i) {
+        if (sweep() == 0)
+            return i;
+    }
+    return max_sweeps;
+}
+
+} // namespace rsu::mrf

@@ -1,0 +1,74 @@
+#include "mrf/metropolis.h"
+
+#include <cmath>
+
+namespace rsu::mrf {
+
+MetropolisSampler::MetropolisSampler(GridMrf &mrf, uint64_t seed,
+                                     Schedule schedule)
+    : mrf_(mrf), rng_(seed), schedule_(schedule)
+{
+}
+
+Label
+MetropolisSampler::updateSite(int x, int y)
+{
+    const Label current = mrf_.label(x, y);
+    const Label proposal = mrf_.codeOf(
+        static_cast<int>(rng_.below(mrf_.numLabels())));
+    ++proposals_;
+    ++work_.site_updates;
+    ++work_.random_draws;
+
+    if (proposal == current)
+        return current;
+
+    const Energy e_old = mrf_.conditionalEnergy(x, y, current);
+    const Energy e_new = mrf_.conditionalEnergy(x, y, proposal);
+    work_.energy_evals += 2;
+
+    const int delta =
+        static_cast<int>(e_new) - static_cast<int>(e_old);
+    bool accept;
+    if (delta <= 0) {
+        accept = true;
+    } else {
+        const double p = std::exp(-static_cast<double>(delta) /
+                                  mrf_.temperature());
+        ++work_.exp_calls;
+        ++work_.random_draws;
+        accept = rng_.uniform() < p;
+    }
+
+    if (accept) {
+        ++accepts_;
+        mrf_.setLabel(x, y, proposal);
+        return proposal;
+    }
+    return current;
+}
+
+void
+MetropolisSampler::sweep()
+{
+    forEachSite(mrf_.width(), mrf_.height(), schedule_,
+                [this](int x, int y) { updateSite(x, y); });
+}
+
+void
+MetropolisSampler::run(int n)
+{
+    for (int i = 0; i < n; ++i)
+        sweep();
+}
+
+double
+MetropolisSampler::acceptanceRate() const
+{
+    return proposals_ == 0
+               ? 0.0
+               : static_cast<double>(accepts_) /
+                     static_cast<double>(proposals_);
+}
+
+} // namespace rsu::mrf

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Metropolis sampler baseline.
+ *
+ * The other commonly used MCMC update the paper names alongside
+ * Gibbs (section 4.2): propose a uniformly random label, accept with
+ * probability min(1, exp(-(E_new - E_old)/T)). It evaluates only two
+ * energies per site instead of M, at the cost of slower mixing —
+ * the convergence benchmarks quantify that trade-off against both
+ * Gibbs variants.
+ */
+
+#ifndef RSU_MRF_METROPOLIS_H
+#define RSU_MRF_METROPOLIS_H
+
+#include "mrf/gibbs.h"
+#include "mrf/grid_mrf.h"
+#include "mrf/schedule.h"
+#include "rng/xoshiro256.h"
+
+namespace rsu::mrf {
+
+/** Metropolis sweeps over a GridMrf. */
+class MetropolisSampler
+{
+  public:
+    MetropolisSampler(GridMrf &mrf, uint64_t seed,
+                      Schedule schedule = Schedule::Checkerboard);
+
+    /** Propose/accept at one site; returns the (possibly old) label. */
+    Label updateSite(int x, int y);
+
+    /** One MCMC iteration: every site visited once. */
+    void sweep();
+
+    void run(int n);
+
+    /** Fraction of proposals accepted so far. */
+    double acceptanceRate() const;
+
+    const SamplerWork &work() const { return work_; }
+
+  private:
+    GridMrf &mrf_;
+    rsu::rng::Xoshiro256 rng_;
+    Schedule schedule_;
+    SamplerWork work_;
+    uint64_t proposals_ = 0;
+    uint64_t accepts_ = 0;
+};
+
+} // namespace rsu::mrf
+
+#endif // RSU_MRF_METROPOLIS_H

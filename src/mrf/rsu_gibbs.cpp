@@ -1,0 +1,98 @@
+#include "mrf/rsu_gibbs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rsu::mrf {
+
+using rsu::core::packNeighbors;
+using rsu::core::packSingletonD;
+using rsu::core::RsuReg;
+
+RsuGibbsSampler::RsuGibbsSampler(GridMrf &mrf, rsu::core::RsuG &unit,
+                                 Schedule schedule, Mode mode)
+    : mrf_(mrf), unit_(unit), device_(unit), schedule_(schedule),
+      mode_(mode), data2_(mrf.numLabels())
+{
+    if (!(unit_.config().energy == mrf_.config().energy))
+        throw std::invalid_argument(
+            "RsuGibbsSampler: the RSU-G's energy datapath "
+            "configuration must match the model's (use "
+            "unitConfigFor())");
+    unit_.initialize(mrf_.numLabels(), mrf_.temperature());
+    unit_.setLabelCodes(mrf_.labelCodes());
+}
+
+rsu::core::RsuGConfig
+RsuGibbsSampler::unitConfigFor(const GridMrf &mrf,
+                               rsu::core::RsuGConfig base)
+{
+    base.energy = mrf.config().energy;
+    return base;
+}
+
+Label
+RsuGibbsSampler::updateSite(int x, int y)
+{
+    const int m = mrf_.numLabels();
+    const EnergyInputs in = mrf_.referencedInputsAt(x, y);
+    mrf_.data2At(x, y, data2_.data());
+
+    Label l;
+    if (mode_ == Mode::Direct) {
+        l = unit_.sample(in, data2_.data());
+    } else {
+        device_.write(RsuReg::Neighbors,
+                      packNeighbors(in.neighbors, in.neighbor_valid));
+        device_.write(RsuReg::SingletonA, in.data1);
+        device_.write(RsuReg::EnergyOffset, in.energy_offset);
+        if (mrf_.singleton().data2PerLabel()) {
+            for (int base = 0; base < m; base += 8) {
+                const int count = std::min(8, m - base);
+                device_.write(RsuReg::SingletonD,
+                              packSingletonD(&data2_[base], count));
+            }
+        } else {
+            device_.write(RsuReg::SingletonD,
+                          packSingletonD(&data2_[0], 1));
+        }
+        l = device_.readResult().label;
+    }
+
+    work_.energy_evals += m;
+    ++work_.random_draws;
+    ++work_.site_updates;
+
+    mrf_.setLabel(x, y, l);
+    return l;
+}
+
+void
+RsuGibbsSampler::sweep()
+{
+    forEachSite(mrf_.width(), mrf_.height(), schedule_,
+                [this](int x, int y) { updateSite(x, y); });
+}
+
+void
+RsuGibbsSampler::run(int n)
+{
+    for (int i = 0; i < n; ++i)
+        sweep();
+}
+
+uint64_t
+RsuGibbsSampler::rsuInstructions() const
+{
+    return device_.instructionCount();
+}
+
+void
+RsuGibbsSampler::setTemperature(double t)
+{
+    mrf_.setTemperature(t);
+    unit_.initialize(mrf_.numLabels(), t);
+    unit_.setLabelCodes(mrf_.labelCodes());
+}
+
+} // namespace rsu::mrf

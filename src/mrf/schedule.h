@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Sweep schedules for MCMC updates on the lattice.
+ *
+ * A first-order MRF's conditional-independence structure lets all
+ * same-colour sites of a checkerboard partition update concurrently
+ * (paper section 4.2, Figure 4) — the parallelism both the augmented
+ * GPU and the discrete accelerator exploit. The software samplers
+ * share these visit-order generators so every implementation sweeps
+ * sites identically.
+ */
+
+#ifndef RSU_MRF_SCHEDULE_H
+#define RSU_MRF_SCHEDULE_H
+
+namespace rsu::mrf {
+
+/** Site visit orders. */
+enum class Schedule {
+    Raster,       //!< row-major, sequential semantics
+    Checkerboard, //!< all even-parity sites, then all odd-parity
+};
+
+/**
+ * Invoke @p fn(x, y) for every site of a width x height lattice in
+ * the given schedule's order.
+ */
+template <typename Fn>
+void
+forEachSite(int width, int height, Schedule schedule, Fn &&fn)
+{
+    if (schedule == Schedule::Raster) {
+        for (int y = 0; y < height; ++y)
+            for (int x = 0; x < width; ++x)
+                fn(x, y);
+        return;
+    }
+    for (int parity = 0; parity < 2; ++parity)
+        for (int y = 0; y < height; ++y)
+            for (int x = 0; x < width; ++x)
+                if (((x + y) & 1) == parity)
+                    fn(x, y);
+}
+
+} // namespace rsu::mrf
+
+#endif // RSU_MRF_SCHEDULE_H

@@ -1,0 +1,173 @@
+#include "proto/prototype.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.h"
+
+namespace rsu::proto {
+
+PrototypeRsuG2::PrototypeRsuG2(const PrototypeConfig &config,
+                               uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    if (config_.timer_resolution_ns <= 0.0 ||
+        config_.base_rate_per_ns <= 0.0)
+        throw std::invalid_argument("PrototypeRsuG2: bad physical "
+                                    "parameters");
+    configure(1.0, 1.0);
+}
+
+void
+PrototypeRsuG2::configure(double intensity_a, double intensity_b)
+{
+    if (intensity_a <= 0.0 || intensity_b <= 0.0)
+        throw std::invalid_argument("PrototypeRsuG2: intensities "
+                                    "must be positive");
+    const double commanded[2] = {intensity_a, intensity_b};
+    const double ratio =
+        std::max(intensity_a / intensity_b, intensity_b / intensity_a);
+    const double sigma = ratio <= config_.calib_linear_limit
+                             ? config_.calib_sigma_low
+                             : config_.calib_sigma_high;
+    for (int c = 0; c < 2; ++c) {
+        // One multiplicative calibration draw per configuration.
+        const double err = std::exp(
+            rsu::rng::sampleNormal(rng_, 0.0, sigma * 0.7071));
+        double rate = config_.base_rate_per_ns * commanded[c] * err;
+        // SPAD dead-time compression of high rates.
+        rate /= 1.0 + config_.saturation * commanded[c];
+        rate_[c] = rate;
+    }
+}
+
+int
+PrototypeRsuG2::shoot()
+{
+    for (;;) {
+        ++shots_;
+        const double ta =
+            rsu::rng::sampleExponential(rng_, rate_[0]);
+        const double tb =
+            rsu::rng::sampleExponential(rng_, rate_[1]);
+        const auto quantize = [this](double t) {
+            return static_cast<long>(t / config_.timer_resolution_ns);
+        };
+        const long qa = quantize(ta);
+        const long qb = quantize(tb);
+        const bool a_lost = qa >= config_.timer_range_ticks;
+        const bool b_lost = qb >= config_.timer_range_ticks;
+        if (a_lost && b_lost)
+            continue; // no photon in the window: re-arm and re-fire
+        if (a_lost)
+            return 1;
+        if (b_lost)
+            return 0;
+        if (qa == qb)
+            continue; // unresolvable at 250 ps: re-fire
+        return qa < qb ? 0 : 1;
+    }
+}
+
+double
+PrototypeRsuG2::measureRatio(int trials)
+{
+    if (trials < 1)
+        throw std::invalid_argument("measureRatio: need trials");
+    long wins_a = 0;
+    for (int i = 0; i < trials; ++i) {
+        if (shoot() == 0)
+            ++wins_a;
+    }
+    const long wins_b = trials - wins_a;
+    // Add-one smoothing so a clean sweep yields a finite ratio.
+    return (static_cast<double>(wins_a) + 1.0) /
+           (static_cast<double>(wins_b) + 1.0);
+}
+
+double
+PrototypeRsuG2::achievedRate(int channel) const
+{
+    return rate_[channel == 0 ? 0 : 1];
+}
+
+std::vector<RatioMeasurement>
+ratioSweep(const PrototypeConfig &config, uint64_t seed,
+           const std::vector<double> &ratios, int trials, int repeats)
+{
+    PrototypeRsuG2 proto(config, seed);
+    std::vector<RatioMeasurement> results;
+    results.reserve(ratios.size());
+    for (double r : ratios) {
+        double err_acc = 0.0;
+        double measured_acc = 0.0;
+        for (int rep = 0; rep < repeats; ++rep) {
+            proto.configure(r, 1.0);
+            const double measured = proto.measureRatio(trials);
+            measured_acc += measured;
+            err_acc += std::abs(measured - r) / r;
+        }
+        results.push_back(
+            {r, measured_acc / repeats, err_acc / repeats});
+    }
+    return results;
+}
+
+PrototypeGibbsSampler::PrototypeGibbsSampler(rsu::mrf::GridMrf &mrf,
+                                             PrototypeRsuG2 &proto)
+    : mrf_(mrf), proto_(proto)
+{
+    if (mrf_.numLabels() != 2)
+        throw std::invalid_argument("PrototypeGibbsSampler: the "
+                                    "RSU-G2 bench has two channels");
+}
+
+void
+PrototypeGibbsSampler::sweep()
+{
+    const double t = mrf_.temperature();
+    for (int y = 0; y < mrf_.height(); ++y) {
+        for (int x = 0; x < mrf_.width(); ++x) {
+            // PC-side energy computation and intensity mapping
+            // (continuous laser control, no 4-bit LUT).
+            const rsu::mrf::Energy e0 = mrf_.conditionalEnergy(
+                x, y, mrf_.codeOf(0));
+            const rsu::mrf::Energy e1 = mrf_.conditionalEnergy(
+                x, y, mrf_.codeOf(1));
+            const double i0 = std::exp(
+                -(static_cast<double>(e0) -
+                  std::min<double>(e0, e1)) /
+                t);
+            const double i1 = std::exp(
+                -(static_cast<double>(e1) -
+                  std::min<double>(e0, e1)) /
+                t);
+            proto_.configure(i0, i1);
+            const int winner = proto_.shoot();
+            mrf_.setLabel(x, y, mrf_.codeOf(winner));
+            ++pixel_samples_;
+        }
+    }
+    ++iterations_;
+}
+
+void
+PrototypeGibbsSampler::run(int iterations)
+{
+    for (int i = 0; i < iterations; ++i)
+        sweep();
+}
+
+PrototypeTiming
+PrototypeGibbsSampler::timing() const
+{
+    PrototypeTiming t;
+    t.sampling_s = static_cast<double>(pixel_samples_) *
+                   proto_.config().sample_delay_us * 1e-6;
+    t.interface_s = static_cast<double>(iterations_) *
+                    proto_.config().interface_delay_s;
+    return t;
+}
+
+} // namespace rsu::proto

@@ -1,0 +1,157 @@
+#include "ret/forster.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsu::ret {
+
+namespace {
+
+/**
+ * Scale constant of the R0^6 formula in this module's relative
+ * unit system, calibrated so a typical strong dye pair (peaks
+ * 550 -> 570 nm emission/excitation offset, sigma 30 nm, quantum
+ * yield 0.8, extinction 1.0, kappa^2 = 2/3, n = 1.4) yields
+ * R0 ~ 5 nm. In absolute units the constant would carry the
+ * 9 ln(10) / (128 pi^5 N_A) factor of Förster's formula.
+ */
+constexpr double kForsterScale = 3.2e-6;
+
+double
+gaussian(double x, double mu, double sigma)
+{
+    const double d = (x - mu) / sigma;
+    return std::exp(-0.5 * d * d) /
+           (sigma * std::sqrt(2.0 * 3.14159265358979));
+}
+
+void
+validate(const Chromophore &c)
+{
+    if (c.lifetime_ns <= 0.0 || c.quantum_yield <= 0.0 ||
+        c.quantum_yield > 1.0 || c.band_width_nm <= 0.0 ||
+        c.extinction <= 0.0) {
+        throw std::invalid_argument("Chromophore: non-physical "
+                                    "parameters");
+    }
+}
+
+} // namespace
+
+double
+spectralOverlap(const Chromophore &donor, const Chromophore &acceptor)
+{
+    validate(donor);
+    validate(acceptor);
+    // Numeric integral over the visible band; the integrand is the
+    // product of two Gaussians times lambda^4, smooth enough for a
+    // plain midpoint rule at 1 nm steps.
+    double j = 0.0;
+    for (double l = 300.5; l < 900.0; l += 1.0) {
+        const double f_d =
+            gaussian(l, donor.emission_peak_nm, donor.band_width_nm);
+        const double e_a =
+            acceptor.extinction *
+            gaussian(l, acceptor.excitation_peak_nm,
+                     acceptor.band_width_nm) *
+            (acceptor.band_width_nm * std::sqrt(2.0 * 3.14159265));
+        // e_a is peak-normalized to `extinction` via the sigma
+        // factor (so a narrow band is not penalized twice).
+        j += f_d * e_a * l * l * l * l;
+    }
+    return j;
+}
+
+double
+forsterRadius(const Chromophore &donor, const Chromophore &acceptor,
+              const RetMedium &medium)
+{
+    if (medium.kappa_squared <= 0.0 || medium.refractive_index <= 0.0)
+        throw std::invalid_argument("RetMedium: non-physical "
+                                    "parameters");
+    const double j = spectralOverlap(donor, acceptor);
+    const double n4 = std::pow(medium.refractive_index, 4.0);
+    const double r6 = kForsterScale * medium.kappa_squared *
+                      donor.quantum_yield * j / n4;
+    return std::pow(r6, 1.0 / 6.0);
+}
+
+double
+transferRate(const Chromophore &donor, const Chromophore &acceptor,
+             double distance_nm, const RetMedium &medium)
+{
+    if (distance_nm <= 0.0)
+        throw std::invalid_argument("transferRate: distance must be "
+                                    "positive");
+    const double r0 = forsterRadius(donor, acceptor, medium);
+    const double ratio = r0 / distance_nm;
+    return std::pow(ratio, 6.0) / donor.lifetime_ns;
+}
+
+double
+transferEfficiency(const Chromophore &donor,
+                   const Chromophore &acceptor, double distance_nm,
+                   const RetMedium &medium)
+{
+    const double k = transferRate(donor, acceptor, distance_nm,
+                                  medium);
+    return k / (k + 1.0 / donor.lifetime_ns);
+}
+
+PhaseTypeNetwork
+buildCascadeNetwork(const std::vector<Chromophore> &chain,
+                    const std::vector<double> &spacings_nm,
+                    const RetMedium &medium)
+{
+    const int n = static_cast<int>(chain.size());
+    if (n < 1)
+        throw std::invalid_argument("buildCascadeNetwork: empty "
+                                    "chain");
+    if (static_cast<int>(spacings_nm.size()) != n - 1)
+        throw std::invalid_argument("buildCascadeNetwork: need one "
+                                    "spacing per hop");
+
+    // Transient states: one per chromophore plus a dark trap at
+    // index n; absorption (photon emission) is index n + 1.
+    const int trap = n;
+    const int states = n + 1;
+    std::vector<std::vector<double>> rates(
+        states, std::vector<double>(states + 1, 0.0));
+
+    for (int i = 0; i < n; ++i) {
+        validate(chain[i]);
+        const double decay = 1.0 / chain[i].lifetime_ns;
+        if (i < n - 1) {
+            // Forward RET races against total spontaneous decay;
+            // intermediate emission is filtered out -> dark.
+            rates[i][i + 1] = transferRate(chain[i], chain[i + 1],
+                                           spacings_nm[i], medium);
+            rates[i][trap] = decay;
+        } else {
+            // Terminal acceptor: radiative fraction emits the
+            // detectable photon; the rest decays dark.
+            rates[i][states] = chain[i].quantum_yield * decay;
+            rates[i][trap] = (1.0 - chain[i].quantum_yield) * decay;
+        }
+    }
+    // The trap has no exits (dark).
+    return PhaseTypeNetwork(std::move(rates), 0);
+}
+
+double
+cascadeEfficiency(const std::vector<Chromophore> &chain,
+                  const std::vector<double> &spacings_nm,
+                  const RetMedium &medium)
+{
+    const int n = static_cast<int>(chain.size());
+    if (n < 1 || static_cast<int>(spacings_nm.size()) != n - 1)
+        throw std::invalid_argument("cascadeEfficiency: bad shapes");
+    double efficiency = 1.0;
+    for (int i = 0; i + 1 < n; ++i) {
+        efficiency *= transferEfficiency(chain[i], chain[i + 1],
+                                         spacings_nm[i], medium);
+    }
+    return efficiency * chain.back().quantum_yield;
+}
+
+} // namespace rsu::ret

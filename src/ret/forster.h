@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Förster theory: from chromophore photophysics to RET rates.
+ *
+ * The rest of the RET substrate treats network rates as given; this
+ * module derives them from first principles the way a RET-network
+ * designer would (paper section 2.3, after Valeur & Berberan-Santos
+ * [41] and Wang, Lebeck & Dwyer [42]):
+ *
+ *  - chromophores have Gaussian emission/excitation bands, a
+ *    fluorescence lifetime and a quantum yield;
+ *  - donor-acceptor coupling follows Förster theory: the transfer
+ *    rate is k = (1/tau_D) (R0 / r)^6, with the Förster radius R0
+ *    determined by the spectral overlap integral
+ *    J = ∫ f_D(l) e_A(l) l^4 dl, the orientation factor kappa^2,
+ *    the medium's refractive index, and the donor quantum yield;
+ *  - a linear chain of chromophores maps onto an absorbing CTMC
+ *    (PhaseTypeNetwork): forward RET hops race against each stage's
+ *    spontaneous decay, and only the terminal acceptor's radiative
+ *    decay produces a detectable photon.
+ *
+ * Units are relative (extinction scale 1.0 = a strong dye); the
+ * overall scale constant is calibrated so a typical Cy3/Cy5-like
+ * pair lands at R0 ~ 5 nm, the regime the paper's few-nanometre
+ * DNA-scaffold spacings target.
+ */
+
+#ifndef RSU_RET_FORSTER_H
+#define RSU_RET_FORSTER_H
+
+#include <vector>
+
+#include "ret/ret_network.h"
+
+namespace rsu::ret {
+
+/** Photophysical description of one chromophore. */
+struct Chromophore
+{
+    double lifetime_ns = 3.0;       //!< fluorescence lifetime tau
+    double quantum_yield = 0.8;     //!< radiative fraction phi
+    double emission_peak_nm = 570.0;
+    double excitation_peak_nm = 550.0;
+    double band_width_nm = 30.0;    //!< Gaussian sigma, both bands
+    double extinction = 1.0;        //!< relative absorption strength
+};
+
+/** Environment parameters of a RET pair/network. */
+struct RetMedium
+{
+    double kappa_squared = 2.0 / 3.0; //!< isotropic orientation avg
+    double refractive_index = 1.4;    //!< aqueous/DNA scaffold
+};
+
+/**
+ * Spectral overlap integral J between a donor's emission band
+ * (area-normalized) and an acceptor's excitation band (peak scaled
+ * by extinction), weighted by lambda^4. Relative units (nm^4).
+ */
+double spectralOverlap(const Chromophore &donor,
+                       const Chromophore &acceptor);
+
+/** Förster radius R0 (nm) of a donor-acceptor pair. */
+double forsterRadius(const Chromophore &donor,
+                     const Chromophore &acceptor,
+                     const RetMedium &medium = {});
+
+/** RET rate (1/ns) at separation @p distance_nm. */
+double transferRate(const Chromophore &donor,
+                    const Chromophore &acceptor, double distance_nm,
+                    const RetMedium &medium = {});
+
+/** Transfer efficiency E = R0^6 / (R0^6 + r^6). */
+double transferEfficiency(const Chromophore &donor,
+                          const Chromophore &acceptor,
+                          double distance_nm,
+                          const RetMedium &medium = {});
+
+/**
+ * Build the absorbing CTMC of a linear RET cascade: excitation
+ * enters at chromophores[0], hops forward with the Förster rates
+ * implied by @p spacings_nm, loses to spontaneous decay at every
+ * stage (intermediate emission is spectrally filtered, i.e. dark),
+ * and emits a detectable photon only via the terminal
+ * chromophore's radiative decay.
+ *
+ * @param chain chromophores in cascade order (>= 1)
+ * @param spacings_nm distances between consecutive chromophores
+ *        (size = chain.size() - 1)
+ */
+PhaseTypeNetwork
+buildCascadeNetwork(const std::vector<Chromophore> &chain,
+                    const std::vector<double> &spacings_nm,
+                    const RetMedium &medium = {});
+
+/**
+ * End-to-end detection probability of the cascade (probability
+ * that the entering excitation produces a terminal photon):
+ * product of per-stage branching ratios. Analytic counterpart of
+ * sampling buildCascadeNetwork().
+ */
+double cascadeEfficiency(const std::vector<Chromophore> &chain,
+                         const std::vector<double> &spacings_nm,
+                         const RetMedium &medium = {});
+
+} // namespace rsu::ret
+
+#endif // RSU_RET_FORSTER_H

@@ -1,0 +1,38 @@
+#include "ret/spad.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "rng/distributions.h"
+
+namespace rsu::ret {
+
+Spad::Spad(SpadModel model) : model_(model)
+{
+    if (model_.efficiency <= 0.0 || model_.efficiency > 1.0)
+        throw std::invalid_argument("Spad: efficiency must be in "
+                                    "(0, 1]");
+    if (model_.dark_rate_per_ns < 0.0 || model_.dead_time_ns < 0.0)
+        throw std::invalid_argument("Spad: negative noise parameter");
+}
+
+double
+Spad::detect(rsu::rng::Xoshiro256 &rng,
+             double photon_rate_per_ns) const
+{
+    const double rate = effectiveRate(photon_rate_per_ns);
+    if (rate <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return rsu::rng::sampleExponential(rng, rate);
+}
+
+double
+Spad::effectiveRate(double photon_rate_per_ns) const
+{
+    double rate = model_.dark_rate_per_ns;
+    if (photon_rate_per_ns > 0.0)
+        rate += photon_rate_per_ns * model_.efficiency;
+    return rate;
+}
+
+} // namespace rsu::ret

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Single-photon avalanche detector model.
+ *
+ * The SPAD converts the RET network's first emitted photon into an
+ * electrical edge for the TTF timer. Architecturally relevant
+ * non-idealities (all optional, all default-off so the core model is
+ * noise-free):
+ *
+ *  - detection efficiency: an emitted photon is missed with
+ *    probability 1 - efficiency, in which case detection waits for a
+ *    later emission — modelled as re-drawing from the same
+ *    exponential (memorylessness makes this exact for the
+ *    single-stage network: thinning a Poisson process scales its
+ *    rate by the efficiency);
+ *  - dark counts: spurious detections at a fixed Poisson rate race
+ *    against the true signal;
+ *  - dead time after a detection, honoured by the RET circuit's
+ *    quiescence window.
+ */
+
+#ifndef RSU_RET_SPAD_H
+#define RSU_RET_SPAD_H
+
+#include "rng/xoshiro256.h"
+
+namespace rsu::ret {
+
+/** SPAD non-ideality parameters. */
+struct SpadModel
+{
+    /** Photon detection efficiency in (0, 1]. */
+    double efficiency = 1.0;
+    /** Dark-count rate (counts per ns). */
+    double dark_rate_per_ns = 0.0;
+    /** Dead time after a detection (ns). */
+    double dead_time_ns = 0.0;
+};
+
+/** Detection front-end for a RET circuit. */
+class Spad
+{
+  public:
+    explicit Spad(SpadModel model = {});
+
+    /**
+     * Convert a photon-arrival process of rate @p photon_rate_per_ns
+     * into a detection time (ns). Infinite input rate handling: a
+     * non-firing channel (rate 0) can still produce a dark count.
+     * Returns infinity when nothing ever fires.
+     */
+    double detect(rsu::rng::Xoshiro256 &rng,
+                  double photon_rate_per_ns) const;
+
+    /**
+     * Effective detection rate for a photon process of the given
+     * rate (thinned signal plus dark counts). Analytic counterpart
+     * of detect() used by the test oracles.
+     */
+    double effectiveRate(double photon_rate_per_ns) const;
+
+    const SpadModel &model() const { return model_; }
+
+  private:
+    SpadModel model_;
+};
+
+} // namespace rsu::ret
+
+#endif // RSU_RET_SPAD_H

@@ -1,0 +1,126 @@
+#include "rng/discrete.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace rsu::rng {
+
+int
+sampleDiscreteLinear(Xoshiro256 &rng, const double *weights, int n)
+{
+    assert(n > 0);
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+        assert(weights[i] >= 0.0);
+        total += weights[i];
+    }
+    assert(total > 0.0);
+
+    double u = rng.uniform() * total;
+    for (int i = 0; i < n; ++i) {
+        u -= weights[i];
+        if (u < 0.0)
+            return i;
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    for (int i = n - 1; i >= 0; --i) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    return n - 1;
+}
+
+CdfSampler::CdfSampler(const std::vector<double> &weights)
+{
+    if (weights.empty())
+        throw std::invalid_argument("CdfSampler: empty weights");
+    cdf_.resize(weights.size());
+    double run = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] < 0.0)
+            throw std::invalid_argument("CdfSampler: negative weight");
+        run += weights[i];
+        cdf_[i] = run;
+    }
+    total_ = run;
+    if (total_ <= 0.0)
+        throw std::invalid_argument("CdfSampler: zero total weight");
+}
+
+int
+CdfSampler::sample(Xoshiro256 &rng) const
+{
+    const double u = rng.uniform() * total_;
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    const auto idx = std::distance(cdf_.begin(), it);
+    return static_cast<int>(std::min<ptrdiff_t>(
+        idx, static_cast<ptrdiff_t>(cdf_.size()) - 1));
+}
+
+double
+CdfSampler::probability(int i) const
+{
+    const double lo = (i == 0) ? 0.0 : cdf_[i - 1];
+    return (cdf_[i] - lo) / total_;
+}
+
+AliasSampler::AliasSampler(const std::vector<double> &weights)
+{
+    const int n = static_cast<int>(weights.size());
+    if (n == 0)
+        throw std::invalid_argument("AliasSampler: empty weights");
+    const double total =
+        std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total <= 0.0)
+        throw std::invalid_argument("AliasSampler: zero total weight");
+
+    norm_.resize(n);
+    for (int i = 0; i < n; ++i) {
+        if (weights[i] < 0.0)
+            throw std::invalid_argument("AliasSampler: negative weight");
+        norm_[i] = weights[i] / total;
+    }
+
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+
+    std::vector<double> scaled(n);
+    std::vector<int> small, large;
+    for (int i = 0; i < n; ++i) {
+        scaled[i] = norm_[i] * n;
+        (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+
+    while (!small.empty() && !large.empty()) {
+        const int s = small.back();
+        small.pop_back();
+        const int l = large.back();
+        large.pop_back();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (int i : large)
+        prob_[i] = 1.0;
+    for (int i : small)
+        prob_[i] = 1.0; // numerical leftovers
+}
+
+int
+AliasSampler::sample(Xoshiro256 &rng) const
+{
+    const int n = static_cast<int>(prob_.size());
+    const int bucket = static_cast<int>(rng.below(n));
+    return rng.uniform() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double
+AliasSampler::probability(int i) const
+{
+    return norm_[i];
+}
+
+} // namespace rsu::rng

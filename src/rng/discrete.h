@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Software discrete samplers.
+ *
+ * These implement the conventional-CPU alternatives to the RSU-G's
+ * first-to-fire race: given M unnormalized weights, draw an index with
+ * probability proportional to its weight. Three strategies with
+ * different setup/draw cost trade-offs are provided; the Gibbs
+ * baseline (mrf::GibbsSampler) uses the linear CDF scan, which is what
+ * a straightforward CUDA/C++ implementation does per pixel, and the
+ * alias method is included as the asymptotically optimal comparator.
+ */
+
+#ifndef RSU_RNG_DISCRETE_H
+#define RSU_RNG_DISCRETE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/xoshiro256.h"
+
+namespace rsu::rng {
+
+/**
+ * Draw an index in [0, n) with probability weight[i] / sum(weights)
+ * via a single uniform draw and a linear CDF scan. O(n) per draw,
+ * no setup. Weights must be non-negative with a positive sum.
+ */
+int sampleDiscreteLinear(Xoshiro256 &rng, const double *weights, int n);
+
+/**
+ * Inverse-transform sampler with a precomputed cumulative table.
+ * O(n) setup, O(log n) per draw (binary search).
+ */
+class CdfSampler
+{
+  public:
+    /** Build the cumulative table from unnormalized weights. */
+    explicit CdfSampler(const std::vector<double> &weights);
+
+    /** Draw an index according to the stored distribution. */
+    int sample(Xoshiro256 &rng) const;
+
+    /** Probability of drawing @p i. */
+    double probability(int i) const;
+
+    int size() const { return static_cast<int>(cdf_.size()); }
+
+  private:
+    std::vector<double> cdf_; // inclusive cumulative sums
+    double total_;
+};
+
+/**
+ * Walker/Vose alias method. O(n) setup, O(1) per draw.
+ */
+class AliasSampler
+{
+  public:
+    explicit AliasSampler(const std::vector<double> &weights);
+
+    int sample(Xoshiro256 &rng) const;
+
+    double probability(int i) const;
+
+    int size() const { return static_cast<int>(prob_.size()); }
+
+  private:
+    std::vector<double> prob_;  // acceptance probability per bucket
+    std::vector<int> alias_;    // fallback index per bucket
+    std::vector<double> norm_;  // normalized input weights
+};
+
+} // namespace rsu::rng
+
+#endif // RSU_RNG_DISCRETE_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SplitMix64 pseudo-random generator.
+ *
+ * Used to seed the main xoshiro256++ generator from a single 64-bit
+ * value, following the recommendation of the xoshiro authors. The
+ * generator is a simple Weyl-sequence hash and passes BigCrush when
+ * used as a standalone generator, but in this library it is only used
+ * for state expansion.
+ */
+
+#ifndef RSU_RNG_SPLITMIX64_H
+#define RSU_RNG_SPLITMIX64_H
+
+#include <cstdint>
+
+namespace rsu::rng {
+
+/** Stateful SplitMix64 stream. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    /** Return the next 64-bit value in the stream. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace rsu::rng
+
+#endif // RSU_RNG_SPLITMIX64_H

@@ -1,0 +1,105 @@
+#include "rng/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace rsu::rng {
+
+void
+RunningMoments::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningMoments::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningMoments::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+chiSquareStatistic(const std::vector<uint64_t> &observed,
+                   const std::vector<double> &expected_probs)
+{
+    if (observed.size() != expected_probs.size())
+        throw std::invalid_argument("chiSquare: size mismatch");
+
+    uint64_t total = 0;
+    for (uint64_t c : observed)
+        total += c;
+    if (total == 0)
+        throw std::invalid_argument("chiSquare: no observations");
+
+    double stat = 0.0;
+    for (size_t i = 0; i < observed.size(); ++i) {
+        const double expected =
+            expected_probs[i] * static_cast<double>(total);
+        if (expected <= 0.0) {
+            assert(observed[i] == 0 &&
+                   "observed mass in a zero-probability bin");
+            continue;
+        }
+        const double diff = static_cast<double>(observed[i]) - expected;
+        stat += diff * diff / expected;
+    }
+    return stat;
+}
+
+double
+chiSquareCritical(int dof, double alpha)
+{
+    assert(dof >= 1);
+    // Standard normal upper quantiles for the supported alphas.
+    double z;
+    if (alpha == 0.01) {
+        z = 2.3263;
+    } else if (alpha == 0.001) {
+        z = 3.0902;
+    } else {
+        throw std::invalid_argument("chiSquareCritical: alpha must be "
+                                    "0.01 or 0.001");
+    }
+    // Wilson-Hilferty: X ~ dof * (1 - 2/(9 dof) + z sqrt(2/(9 dof)))^3.
+    const double k = static_cast<double>(dof);
+    const double h = 2.0 / (9.0 * k);
+    const double body = 1.0 - h + z * std::sqrt(h);
+    return k * body * body * body;
+}
+
+double
+ksStatisticExponential(std::vector<double> &samples, double rate)
+{
+    if (samples.empty())
+        throw std::invalid_argument("ks: no samples");
+    std::sort(samples.begin(), samples.end());
+    const double n = static_cast<double>(samples.size());
+    double d = 0.0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const double cdf = 1.0 - std::exp(-rate * samples[i]);
+        const double lo = static_cast<double>(i) / n;
+        const double hi = static_cast<double>(i + 1) / n;
+        d = std::max(d, std::max(cdf - lo, hi - cdf));
+    }
+    return d;
+}
+
+double
+ksCritical01(uint64_t n)
+{
+    return 1.628 / std::sqrt(static_cast<double>(n));
+}
+
+} // namespace rsu::rng

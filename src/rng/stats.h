@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Statistical test helpers used by property tests and calibration.
+ *
+ * The paper's central claim is statistical: the first-to-fire race
+ * draws from the Gibbs conditional. Verifying an emulated device
+ * against a target distribution needs goodness-of-fit machinery, so
+ * the library ships chi-square and Kolmogorov-Smirnov tests along
+ * with streaming moment accumulators.
+ */
+
+#ifndef RSU_RNG_STATS_H
+#define RSU_RNG_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rsu::rng {
+
+/** Streaming mean/variance accumulator (Welford). */
+class RunningMoments
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    uint64_t count() const { return n_; }
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance; 0 for fewer than 2 observations. */
+    double variance() const;
+
+    double stddev() const;
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Pearson chi-square statistic for observed counts against expected
+ * probabilities. Bins with expected probability 0 must have observed
+ * count 0 (asserted) and contribute nothing.
+ */
+double chiSquareStatistic(const std::vector<uint64_t> &observed,
+                          const std::vector<double> &expected_probs);
+
+/**
+ * Upper-tail critical value of the chi-square distribution with
+ * @p dof degrees of freedom at significance level @p alpha (supported:
+ * 0.01, 0.001). Uses the Wilson-Hilferty cube-root approximation,
+ * accurate to a few percent for dof >= 3 — adequate for pass/fail
+ * property tests with comfortable margins.
+ */
+double chiSquareCritical(int dof, double alpha);
+
+/**
+ * One-sample Kolmogorov-Smirnov statistic of @p samples (sorted
+ * in place) against the exponential CDF with rate @p rate.
+ */
+double ksStatisticExponential(std::vector<double> &samples, double rate);
+
+/**
+ * Critical KS value at alpha = 0.01 for @p n samples (asymptotic
+ * formula 1.628 / sqrt(n)).
+ */
+double ksCritical01(uint64_t n);
+
+} // namespace rsu::rng
+
+#endif // RSU_RNG_STATS_H

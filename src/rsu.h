@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Umbrella header: the whole RSU-Sim public API in one include.
+ *
+ * Fine-grained headers remain the recommended includes for library
+ * consumers who care about compile times; this header exists for
+ * exploratory code and examples.
+ */
+
+#ifndef RSU_RSU_H
+#define RSU_RSU_H
+
+// Entropy and software samplers.
+#include "rng/discrete.h"
+#include "rng/distributions.h"
+#include "rng/splitmix64.h"
+#include "rng/stats.h"
+#include "rng/xoshiro256.h"
+
+// RET device substrate.
+#include "ret/forster.h"
+#include "ret/qdled.h"
+#include "ret/ret_circuit.h"
+#include "ret/ret_network.h"
+#include "ret/spad.h"
+#include "ret/ttf_timer.h"
+
+// The RSU core.
+#include "core/energy_unit.h"
+#include "core/intensity_map.h"
+#include "core/rsu_g.h"
+#include "core/rsu_isa.h"
+#include "core/rsu_units.h"
+#include "core/selection_unit.h"
+#include "core/types.h"
+
+// MRF substrate and samplers.
+#include "mrf/annealing.h"
+#include "mrf/belief_propagation.h"
+#include "mrf/diagnostics.h"
+#include "mrf/estimator.h"
+#include "mrf/exact.h"
+#include "mrf/gibbs.h"
+#include "mrf/grid_mrf.h"
+#include "mrf/icm.h"
+#include "mrf/metropolis.h"
+#include "mrf/rsu_gibbs.h"
+#include "mrf/schedule.h"
+
+// Vision applications.
+#include "vision/denoise.h"
+#include "vision/image.h"
+#include "vision/metrics.h"
+#include "vision/motion.h"
+#include "vision/recall.h"
+#include "vision/segmentation.h"
+#include "vision/stereo.h"
+#include "vision/synthetic.h"
+
+// Architecture models.
+#include "arch/accel_sim.h"
+#include "arch/accelerator_model.h"
+#include "arch/cpu_model.h"
+#include "arch/gpu_model.h"
+#include "arch/power_area.h"
+#include "arch/technology.h"
+#include "arch/workload.h"
+
+// Macro-scale prototype emulation.
+#include "proto/prototype.h"
+
+#endif // RSU_RSU_H

@@ -1,0 +1,117 @@
+#include "vision/image.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rsu::vision {
+
+Image::Image(int width, int height, uint8_t maxval, uint8_t fill)
+    : width_(width), height_(height), maxval_(maxval)
+{
+    if (width < 1 || height < 1)
+        throw std::invalid_argument("Image: empty dimensions");
+    if (maxval == 0)
+        throw std::invalid_argument("Image: maxval must be positive");
+    pixels_.assign(static_cast<size_t>(width) * height, fill);
+}
+
+uint8_t
+Image::atClamped(int x, int y) const
+{
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(x, y);
+}
+
+Image
+Image::requantized(uint8_t new_maxval) const
+{
+    Image out(width_, height_, new_maxval);
+    for (int i = 0; i < size(); ++i) {
+        const int v = (static_cast<int>(pixels_[i]) * new_maxval +
+                       maxval_ / 2) /
+                      maxval_;
+        out.pixels_[i] = static_cast<uint8_t>(
+            std::min<int>(v, new_maxval));
+    }
+    return out;
+}
+
+void
+Image::writePgm(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("Image: cannot open " + path);
+    out << "P5\n"
+        << width_ << " " << height_ << "\n"
+        << static_cast<int>(maxval_) << "\n";
+    out.write(reinterpret_cast<const char *>(pixels_.data()),
+              static_cast<std::streamsize>(pixels_.size()));
+    if (!out)
+        throw std::runtime_error("Image: write failed for " + path);
+}
+
+Image
+Image::readPgm(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("Image: cannot open " + path);
+
+    std::string magic;
+    in >> magic;
+    if (magic != "P5" && magic != "P2")
+        throw std::runtime_error("Image: not a PGM file: " + path);
+
+    auto next_token = [&in, &path]() -> int {
+        // Skip whitespace and '#' comment lines between tokens.
+        for (;;) {
+            int c = in.peek();
+            if (c == '#') {
+                std::string line;
+                std::getline(in, line);
+            } else if (std::isspace(c)) {
+                in.get();
+            } else {
+                break;
+            }
+        }
+        int value;
+        if (!(in >> value))
+            throw std::runtime_error("Image: truncated header in " +
+                                     path);
+        return value;
+    };
+
+    const int width = next_token();
+    const int height = next_token();
+    const int maxval = next_token();
+    if (width < 1 || height < 1 || maxval < 1 || maxval > 255)
+        throw std::runtime_error("Image: bad PGM header in " + path);
+
+    Image img(width, height, static_cast<uint8_t>(maxval));
+    if (magic == "P5") {
+        in.get(); // single whitespace after maxval
+        in.read(reinterpret_cast<char *>(img.pixels_.data()),
+                static_cast<std::streamsize>(img.pixels_.size()));
+        if (in.gcount() !=
+            static_cast<std::streamsize>(img.pixels_.size()))
+            throw std::runtime_error("Image: truncated pixels in " +
+                                     path);
+    } else {
+        for (auto &p : img.pixels_) {
+            int v;
+            if (!(in >> v))
+                throw std::runtime_error("Image: truncated pixels "
+                                         "in " +
+                                         path);
+            p = static_cast<uint8_t>(std::clamp(v, 0, maxval));
+        }
+    }
+    return img;
+}
+
+} // namespace rsu::vision

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Grayscale image container with PGM I/O.
+ *
+ * The vision applications operate on 6-bit grayscale (0..63) because
+ * that is the RSU-G's data precision (paper section 4.4); the
+ * container carries an explicit maximum value so 8-bit sources can
+ * be represented and quantized explicitly rather than silently.
+ */
+
+#ifndef RSU_VISION_IMAGE_H
+#define RSU_VISION_IMAGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsu::vision {
+
+/** Single-channel image. */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** @param maxval largest representable pixel value (e.g. 63). */
+    Image(int width, int height, uint8_t maxval = 63,
+          uint8_t fill = 0);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int size() const { return width_ * height_; }
+    uint8_t maxval() const { return maxval_; }
+
+    uint8_t
+    at(int x, int y) const
+    {
+        return pixels_[y * width_ + x];
+    }
+
+    void
+    set(int x, int y, uint8_t v)
+    {
+        pixels_[y * width_ + x] = v;
+    }
+
+    /** Pixel with coordinates clamped to the image bounds. */
+    uint8_t atClamped(int x, int y) const;
+
+    const std::vector<uint8_t> &pixels() const { return pixels_; }
+    std::vector<uint8_t> &pixels() { return pixels_; }
+
+    /** Requantize to a new maximum value (uniform rescale). */
+    Image requantized(uint8_t new_maxval) const;
+
+    /** Write as binary PGM (P5). Throws on I/O failure. */
+    void writePgm(const std::string &path) const;
+
+    /** Read a PGM file (P2 or P5). Throws on parse failure. */
+    static Image readPgm(const std::string &path);
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    uint8_t maxval_ = 63;
+    std::vector<uint8_t> pixels_;
+};
+
+} // namespace rsu::vision
+
+#endif // RSU_VISION_IMAGE_H

@@ -1,0 +1,59 @@
+#include "vision/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsu::vision {
+
+double
+labelAccuracy(const std::vector<rsu::core::Label> &result,
+              const std::vector<rsu::core::Label> &truth)
+{
+    if (result.size() != truth.size() || result.empty())
+        throw std::invalid_argument("labelAccuracy: size mismatch");
+    size_t correct = 0;
+    for (size_t i = 0; i < result.size(); ++i) {
+        if (result[i] == truth[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(result.size());
+}
+
+double
+meanEndpointError(const std::vector<rsu::core::Label> &result,
+                  const std::vector<rsu::core::Label> &truth)
+{
+    if (result.size() != truth.size() || result.empty())
+        throw std::invalid_argument("meanEndpointError: size "
+                                    "mismatch");
+    double total = 0.0;
+    for (size_t i = 0; i < result.size(); ++i) {
+        const int dx = rsu::core::labelX1(result[i]) -
+                       rsu::core::labelX1(truth[i]);
+        const int dy = rsu::core::labelX2(result[i]) -
+                       rsu::core::labelX2(truth[i]);
+        total += std::sqrt(static_cast<double>(dx * dx + dy * dy));
+    }
+    return total / static_cast<double>(result.size());
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    if (a.width() != b.width() || a.height() != b.height())
+        throw std::invalid_argument("psnr: size mismatch");
+    double mse = 0.0;
+    for (int i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a.pixels()[i]) -
+                         static_cast<double>(b.pixels()[i]);
+        mse += d * d;
+    }
+    mse /= a.size();
+    if (mse == 0.0)
+        return std::numeric_limits<double>::infinity();
+    const double peak = a.maxval();
+    return 10.0 * std::log10(peak * peak / mse);
+}
+
+} // namespace rsu::vision

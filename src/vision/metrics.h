@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Solution-quality metrics for the vision workloads.
+ */
+
+#ifndef RSU_VISION_METRICS_H
+#define RSU_VISION_METRICS_H
+
+#include <vector>
+
+#include "core/types.h"
+#include "vision/image.h"
+
+namespace rsu::vision {
+
+/** Fraction of sites whose label equals the ground truth. */
+double labelAccuracy(const std::vector<rsu::core::Label> &result,
+                     const std::vector<rsu::core::Label> &truth);
+
+/**
+ * Mean endpoint error of a motion labelling: average Euclidean
+ * distance between estimated and true displacement vectors (labels
+ * are packed 2 x 3-bit codes).
+ */
+double meanEndpointError(const std::vector<rsu::core::Label> &result,
+                         const std::vector<rsu::core::Label> &truth);
+
+/** Peak signal-to-noise ratio between two equally sized images. */
+double psnr(const Image &a, const Image &b);
+
+} // namespace rsu::vision
+
+#endif // RSU_VISION_METRICS_H

@@ -1,0 +1,76 @@
+#include "vision/motion.h"
+
+#include <stdexcept>
+
+namespace rsu::vision {
+
+using rsu::core::labelX1;
+using rsu::core::labelX2;
+using rsu::core::packVectorLabel;
+
+MotionModel::MotionModel(const Image &frame1, const Image &frame2,
+                         int radius)
+    : frame1_(frame1), frame2_(frame2), radius_(radius)
+{
+    if (radius_ < 1 || radius_ > 3)
+        throw std::invalid_argument("MotionModel: radius must be "
+                                    "1..3 (2 x 3-bit labels)");
+    if (frame1_.width() != frame2_.width() ||
+        frame1_.height() != frame2_.height())
+        throw std::invalid_argument("MotionModel: frame size "
+                                    "mismatch");
+}
+
+uint8_t
+MotionModel::data1(int x, int y) const
+{
+    return frame1_.at(x, y);
+}
+
+uint8_t
+MotionModel::data2(int x, int y, rsu::mrf::Label label) const
+{
+    const int dx = labelX1(label) - radius_;
+    const int dy = labelX2(label) - radius_;
+    return frame2_.atClamped(x + dx, y + dy);
+}
+
+rsu::mrf::Label
+MotionModel::indexToLabel(int index, int radius)
+{
+    const int w = 2 * radius + 1;
+    return packVectorLabel(index % w, index / w);
+}
+
+int
+MotionModel::labelToIndex(rsu::mrf::Label label, int radius)
+{
+    const int w = 2 * radius + 1;
+    return labelX2(label) * w + labelX1(label);
+}
+
+rsu::mrf::MrfConfig
+motionConfig(const Image &frame1, int radius, double temperature,
+             int doubleton_weight)
+{
+    rsu::mrf::MrfConfig config;
+    config.width = frame1.width();
+    config.height = frame1.height();
+    const int w = 2 * radius + 1;
+    config.num_labels = w * w;
+    config.temperature = temperature;
+    config.energy.mode = rsu::core::LabelMode::Vector;
+    config.energy.doubleton_weight = doubleton_weight;
+    // Motion's data term is the difference between *independent*
+    // pixels under wrong displacements — typically ~7 intensity
+    // levels on textured content. A shift of 2 keeps that signal
+    // (49 >> 2 = 12) where the default 4 would flush it to 3.
+    config.energy.singleton_shift = 2;
+    config.label_codes.resize(config.num_labels);
+    for (int i = 0; i < config.num_labels; ++i) {
+        config.label_codes[i] = MotionModel::indexToLabel(i, radius);
+    }
+    return config;
+}
+
+} // namespace rsu::vision

@@ -1,0 +1,263 @@
+#include "vision/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.h"
+
+namespace rsu::vision {
+
+uint8_t
+clampPixel(double v, uint8_t maxval)
+{
+    const double r = std::round(v);
+    if (r < 0.0)
+        return 0;
+    if (r > static_cast<double>(maxval))
+        return maxval;
+    return static_cast<uint8_t>(r);
+}
+
+Image
+makeValueNoise(int width, int height, int octaves, uint8_t maxval,
+               rsu::rng::Xoshiro256 &rng)
+{
+    if (octaves < 1)
+        throw std::invalid_argument("makeValueNoise: need octaves");
+    std::vector<double> acc(static_cast<size_t>(width) * height, 0.0);
+    double amplitude = 1.0;
+    double total_amp = 0.0;
+
+    for (int oct = 0; oct < octaves; ++oct) {
+        // Lattice spacing halves each octave, starting coarse.
+        const int cell = std::max(2, 32 >> oct);
+        const int gw = width / cell + 2;
+        const int gh = height / cell + 2;
+        std::vector<double> lattice(
+            static_cast<size_t>(gw) * gh);
+        for (auto &v : lattice)
+            v = rng.uniform();
+
+        for (int y = 0; y < height; ++y) {
+            const int gy = y / cell;
+            const double fy = static_cast<double>(y % cell) / cell;
+            for (int x = 0; x < width; ++x) {
+                const int gx = x / cell;
+                const double fx =
+                    static_cast<double>(x % cell) / cell;
+                const double v00 = lattice[gy * gw + gx];
+                const double v10 = lattice[gy * gw + gx + 1];
+                const double v01 = lattice[(gy + 1) * gw + gx];
+                const double v11 = lattice[(gy + 1) * gw + gx + 1];
+                const double top = v00 + (v10 - v00) * fx;
+                const double bot = v01 + (v11 - v01) * fx;
+                acc[y * width + x] +=
+                    amplitude * (top + (bot - top) * fy);
+            }
+        }
+        total_amp += amplitude;
+        amplitude *= 0.55;
+    }
+
+    Image img(width, height, maxval);
+    for (int i = 0; i < width * height; ++i) {
+        img.pixels()[i] =
+            clampPixel(acc[i] / total_amp * maxval, maxval);
+    }
+    return img;
+}
+
+SegmentationScene
+makeSegmentationScene(int width, int height, int num_regions,
+                      double noise_sigma, rsu::rng::Xoshiro256 &rng)
+{
+    if (num_regions < 2 || num_regions > 64)
+        throw std::invalid_argument("makeSegmentationScene: bad "
+                                    "region count");
+
+    SegmentationScene scene;
+    scene.truth.assign(static_cast<size_t>(width) * height, 0);
+    scene.region_means.resize(num_regions);
+    for (int r = 0; r < num_regions; ++r) {
+        // Evenly spaced means across the 6-bit range so regions are
+        // separable in intensity.
+        scene.region_means[r] = static_cast<uint8_t>(
+            (2 * r + 1) * 63 / (2 * num_regions));
+    }
+
+    // Paint blobs: several ellipses per non-background region.
+    const int blobs_per_region = 3;
+    for (int r = 1; r < num_regions; ++r) {
+        for (int b = 0; b < blobs_per_region; ++b) {
+            const double cx = rng.uniform() * width;
+            const double cy = rng.uniform() * height;
+            const double ax =
+                (0.08 + 0.17 * rng.uniform()) * width;
+            const double ay =
+                (0.08 + 0.17 * rng.uniform()) * height;
+            const double theta = rng.uniform() * 3.14159265;
+            const double ct = std::cos(theta), st = std::sin(theta);
+            for (int y = 0; y < height; ++y) {
+                for (int x = 0; x < width; ++x) {
+                    const double dx = x - cx, dy = y - cy;
+                    const double u = (dx * ct + dy * st) / ax;
+                    const double v = (-dx * st + dy * ct) / ay;
+                    if (u * u + v * v <= 1.0) {
+                        scene.truth[y * width + x] =
+                            static_cast<rsu::core::Label>(r);
+                    }
+                }
+            }
+        }
+    }
+
+    scene.image = Image(width, height, 63);
+    for (int i = 0; i < width * height; ++i) {
+        const double mean = scene.region_means[scene.truth[i]];
+        const double noisy =
+            mean + rsu::rng::sampleNormal(rng, 0.0, noise_sigma);
+        scene.image.pixels()[i] = clampPixel(noisy, 63);
+    }
+    return scene;
+}
+
+MotionScene
+makeMotionScene(int width, int height, int num_objects, int radius,
+                double noise_sigma, rsu::rng::Xoshiro256 &rng)
+{
+    if (radius < 1 || radius > 3)
+        throw std::invalid_argument("makeMotionScene: radius must be "
+                                    "1..3 (labels are 2 x 3-bit)");
+    MotionScene scene;
+    scene.radius = radius;
+    scene.frame1 = makeValueNoise(width, height, 4, 63, rng);
+    // High-frequency speckle makes local matching well-posed at
+    // 6-bit precision (smooth gradients alone are ambiguous inside
+    // a 7x7 window); applied before warping so it moves with the
+    // scene.
+    for (auto &p : scene.frame1.pixels()) {
+        p = clampPixel(
+            p + static_cast<int>(rng.below(21)) - 10, 63);
+    }
+
+    // Per-pixel ground-truth displacement; background is static.
+    std::vector<int> dx(static_cast<size_t>(width) * height, 0);
+    std::vector<int> dy(dx.size(), 0);
+
+    for (int obj = 0; obj < num_objects; ++obj) {
+        const int ow = std::max(8, width / 5);
+        const int oh = std::max(8, height / 5);
+        const int ox = static_cast<int>(
+            rng.below(std::max(1, width - ow)));
+        const int oy = static_cast<int>(
+            rng.below(std::max(1, height - oh)));
+        // Nonzero displacement within the search radius.
+        int mx = 0, my = 0;
+        while (mx == 0 && my == 0) {
+            mx = static_cast<int>(rng.below(2 * radius + 1)) - radius;
+            my = static_cast<int>(rng.below(2 * radius + 1)) - radius;
+        }
+        for (int y = oy; y < oy + oh && y < height; ++y) {
+            for (int x = ox; x < ox + ow && x < width; ++x) {
+                dx[y * width + x] = mx;
+                dy[y * width + x] = my;
+            }
+        }
+        // Give the object a distinct texture so it is trackable.
+        const int delta =
+            static_cast<int>(rng.below(30)) - 15;
+        for (int y = oy; y < oy + oh && y < height; ++y) {
+            for (int x = ox; x < ox + ow && x < width; ++x) {
+                scene.frame1.set(
+                    x, y,
+                    clampPixel(scene.frame1.at(x, y) + delta, 63));
+            }
+        }
+    }
+
+    // Forward-map: frame2(p + d(p)) = frame1(p); fill then overwrite
+    // moving pixels so occlusions resolve in favour of the mover.
+    scene.frame2 = Image(width, height, 63);
+    for (int y = 0; y < height; ++y)
+        for (int x = 0; x < width; ++x)
+            scene.frame2.set(x, y, scene.frame1.at(x, y));
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const int i = y * width + x;
+            if (dx[i] == 0 && dy[i] == 0)
+                continue;
+            const int tx = x + dx[i];
+            const int ty = y + dy[i];
+            if (tx >= 0 && tx < width && ty >= 0 && ty < height)
+                scene.frame2.set(tx, ty, scene.frame1.at(x, y));
+        }
+    }
+
+    if (noise_sigma > 0.0) {
+        for (auto &p : scene.frame2.pixels()) {
+            p = clampPixel(
+                p + rsu::rng::sampleNormal(rng, 0.0, noise_sigma), 63);
+        }
+    }
+
+    scene.truth.resize(dx.size());
+    for (size_t i = 0; i < dx.size(); ++i) {
+        scene.truth[i] = rsu::core::packVectorLabel(
+            dx[i] + radius, dy[i] + radius);
+    }
+    return scene;
+}
+
+StereoScene
+makeStereoScene(int width, int height, int num_disparities,
+                double noise_sigma, rsu::rng::Xoshiro256 &rng)
+{
+    if (num_disparities < 2 || num_disparities > 8)
+        throw std::invalid_argument("makeStereoScene: disparities "
+                                    "must be 2..8 (3-bit labels)");
+    StereoScene scene;
+    scene.num_disparities = num_disparities;
+    scene.left = makeValueNoise(width, height, 4, 63, rng);
+    // Speckle for well-posed matching (see makeMotionScene).
+    for (auto &p : scene.left.pixels()) {
+        p = clampPixel(
+            p + static_cast<int>(rng.below(21)) - 10, 63);
+    }
+
+    // Fronto-parallel rectangles at increasing disparity over a
+    // zero-disparity background.
+    scene.truth.assign(static_cast<size_t>(width) * height, 0);
+    for (int d = 1; d < num_disparities; ++d) {
+        const int rw = std::max(8, width / 4);
+        const int rh = std::max(8, height / 4);
+        const int rx = static_cast<int>(
+            rng.below(std::max(1, width - rw)));
+        const int ry = static_cast<int>(
+            rng.below(std::max(1, height - rh)));
+        for (int y = ry; y < ry + rh && y < height; ++y) {
+            for (int x = rx; x < rx + rw && x < width; ++x) {
+                scene.truth[y * width + x] =
+                    static_cast<rsu::core::Label>(d);
+            }
+        }
+    }
+
+    scene.right = Image(width, height, 63);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const int d = scene.truth[y * width + x];
+            scene.right.set(x, y, scene.left.atClamped(x + d, y));
+        }
+    }
+
+    if (noise_sigma > 0.0) {
+        for (auto &p : scene.right.pixels()) {
+            p = clampPixel(
+                p + rsu::rng::sampleNormal(rng, 0.0, noise_sigma), 63);
+        }
+    }
+    return scene;
+}
+
+} // namespace rsu::vision

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Unit tests for the architecture models, pinned against the
+ * paper's published numbers (Tables 2-4, section 8.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator_model.h"
+#include "arch/cpu_model.h"
+#include "arch/gpu_model.h"
+#include "arch/power_area.h"
+#include "arch/technology.h"
+#include "arch/workload.h"
+
+namespace {
+
+using namespace rsu::arch;
+
+TEST(Technology, NodeLookup)
+{
+    EXPECT_EQ(nodeByFeature(45).feature_nm, 45);
+    EXPECT_EQ(nodeByFeature(15).feature_nm, 15);
+    EXPECT_THROW(nodeByFeature(7), std::invalid_argument);
+}
+
+TEST(Technology, IdentityScalingIsNeutral)
+{
+    const TechNode &n45 = nodeByFeature(45);
+    EXPECT_DOUBLE_EQ(scalePower(7.2, n45, 590, n45, 590), 7.2);
+    EXPECT_DOUBLE_EQ(scaleArea(100.0, n45, n45), 100.0);
+}
+
+TEST(Technology, FrequencyScalesPowerLinearly)
+{
+    const TechNode &n45 = nodeByFeature(45);
+    EXPECT_NEAR(scalePower(10.0, n45, 500, n45, 1000), 20.0, 1e-9);
+    EXPECT_THROW(scalePower(1.0, n45, 0.0, n45, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(Technology, ProjectionReproducesPaperTable3Power)
+{
+    // Paper Table 3: logic 7.20 mW @45nm/590MHz -> 2.33 @15nm/1GHz;
+    // LUT 3.92 -> 1.42.
+    const TechNode &n45 = nodeByFeature(45);
+    const TechNode &n15 = nodeByFeature(15);
+    EXPECT_NEAR(scalePower(7.20, n45, 590, n15, 1000, false), 2.33,
+                0.02);
+    EXPECT_NEAR(scalePower(3.92, n45, 590, n15, 1000, true), 1.42,
+                0.02);
+}
+
+TEST(Technology, ProjectionReproducesPaperTable4Area)
+{
+    // Paper Table 4: logic 2275 -> 642 um^2; LUT 1798 -> 656 um^2.
+    const TechNode &n45 = nodeByFeature(45);
+    const TechNode &n15 = nodeByFeature(15);
+    EXPECT_NEAR(scaleArea(2275.0, n45, n15, false), 642.0, 3.0);
+    EXPECT_NEAR(scaleArea(1798.0, n45, n15, true), 656.0, 3.0);
+}
+
+TEST(PowerArea, ReferenceTotalsMatchTable3And4)
+{
+    const RsuBudget ref = RsuPowerAreaModel::reference45nm();
+    EXPECT_NEAR(ref.totalPowerMw(), 11.28, 1e-9);
+    EXPECT_NEAR(ref.totalAreaUm2(), 5673.0, 1e-9);
+}
+
+TEST(PowerArea, ProjectedTotalsMatchTable3And4)
+{
+    const RsuBudget b = RsuPowerAreaModel::project(15, 1000.0);
+    EXPECT_NEAR(b.logic_mw, 2.33, 0.02);
+    EXPECT_NEAR(b.lut_mw, 1.42, 0.02);
+    EXPECT_DOUBLE_EQ(b.ret_mw, 0.16);
+    EXPECT_NEAR(b.totalPowerMw(), 3.91, 0.04);
+    EXPECT_NEAR(b.logic_um2, 642.0, 3.0);
+    EXPECT_NEAR(b.lut_um2, 656.0, 3.0);
+    EXPECT_DOUBLE_EQ(b.ret_um2, 1600.0);
+    EXPECT_NEAR(b.totalAreaUm2(), 2898.0, 6.0);
+}
+
+TEST(PowerArea, WidthProjectionScalesComponents)
+{
+    const RsuBudget g1 = RsuPowerAreaModel::project(15, 1000.0);
+    const RsuBudget same =
+        RsuPowerAreaModel::projectWidth(15, 1000.0, 1, 4);
+    EXPECT_NEAR(same.totalPowerMw(), g1.totalPowerMw(), 1e-9);
+    EXPECT_NEAR(same.totalAreaUm2(), g1.totalAreaUm2(), 1e-9);
+
+    const RsuBudget g4 =
+        RsuPowerAreaModel::projectWidth(15, 1000.0, 4, 4);
+    // Optics and LUT scale by K; logic slightly super-linearly.
+    EXPECT_NEAR(g4.ret_mw, 4.0 * g1.ret_mw, 1e-9);
+    EXPECT_NEAR(g4.lut_um2, 4.0 * g1.lut_um2, 1e-9);
+    EXPECT_GT(g4.logic_mw, 4.0 * g1.logic_mw);
+    EXPECT_LT(g4.logic_mw, 5.0 * g1.logic_mw);
+
+    // Replication scales only the optics.
+    const RsuBudget deep =
+        RsuPowerAreaModel::projectWidth(15, 1000.0, 1, 8);
+    EXPECT_NEAR(deep.ret_mw, 2.0 * g1.ret_mw, 1e-9);
+    EXPECT_NEAR(deep.logic_mw, g1.logic_mw, 1e-9);
+
+    EXPECT_THROW(RsuPowerAreaModel::projectWidth(15, 1000.0, 0),
+                 std::invalid_argument);
+}
+
+TEST(PowerArea, SystemRollupsMatchPaper)
+{
+    const RsuBudget unit = RsuPowerAreaModel::project(15, 1000.0);
+    // GPU augmented with 3072 units: ~12 W (section 8.3).
+    EXPECT_NEAR(RsuPowerAreaModel::systemPowerW(unit, 3072), 12.0,
+                0.15);
+    // 336-unit accelerator: ~1.3 W.
+    EXPECT_NEAR(RsuPowerAreaModel::systemPowerW(unit, 336), 1.3,
+                0.03);
+    EXPECT_DOUBLE_EQ(RsuPowerAreaModel::retCircuitAreaUm2(), 400.0);
+}
+
+class GpuTable2Test : public ::testing::Test
+{
+  protected:
+    GpuModel model_;
+};
+
+TEST_F(GpuTable2Test, BaselineColumnsMatchCalibration)
+{
+    // Paper Table 2, GPU column: 0.3 / 3.2 (seg), 0.55 / 7.17
+    // (motion). The baseline is the calibration target, so the
+    // tolerance is tight.
+    const auto seg_s = segmentationWorkload(kSmallWidth, kSmallHeight);
+    const auto seg_hd = segmentationWorkload(kHdWidth, kHdHeight);
+    const auto mot_s = motionWorkload(kSmallWidth, kSmallHeight);
+    const auto mot_hd = motionWorkload(kHdWidth, kHdHeight);
+
+    EXPECT_NEAR(model_.totalSeconds(seg_s, GpuVariant::Baseline),
+                0.30, 0.02);
+    EXPECT_NEAR(model_.totalSeconds(seg_hd, GpuVariant::Baseline),
+                3.2, 0.2);
+    EXPECT_NEAR(model_.totalSeconds(mot_s, GpuVariant::Baseline),
+                0.55, 0.04);
+    EXPECT_NEAR(model_.totalSeconds(mot_hd, GpuVariant::Baseline),
+                7.17, 0.8);
+}
+
+TEST_F(GpuTable2Test, OptimizedColumnIsPredictedWithin15Percent)
+{
+    const auto seg_s = segmentationWorkload(kSmallWidth, kSmallHeight);
+    const auto seg_hd = segmentationWorkload(kHdWidth, kHdHeight);
+    const auto mot_s = motionWorkload(kSmallWidth, kSmallHeight);
+    const auto mot_hd = motionWorkload(kHdWidth, kHdHeight);
+
+    EXPECT_NEAR(model_.totalSeconds(seg_s, GpuVariant::Optimized),
+                0.23, 0.23 * 0.15);
+    EXPECT_NEAR(model_.totalSeconds(seg_hd, GpuVariant::Optimized),
+                2.6, 2.6 * 0.15);
+    EXPECT_NEAR(model_.totalSeconds(mot_s, GpuVariant::Optimized),
+                0.27, 0.27 * 0.15);
+    EXPECT_NEAR(model_.totalSeconds(mot_hd, GpuVariant::Optimized),
+                3.35, 3.35 * 0.15);
+}
+
+TEST_F(GpuTable2Test, RsuColumnsArePredictedWithin20Percent)
+{
+    const auto seg_s = segmentationWorkload(kSmallWidth, kSmallHeight);
+    const auto seg_hd = segmentationWorkload(kHdWidth, kHdHeight);
+    const auto mot_s = motionWorkload(kSmallWidth, kSmallHeight);
+    const auto mot_hd = motionWorkload(kHdWidth, kHdHeight);
+
+    EXPECT_NEAR(model_.totalSeconds(seg_s, GpuVariant::RsuG1), 0.09,
+                0.09 * 0.20);
+    EXPECT_NEAR(model_.totalSeconds(seg_hd, GpuVariant::RsuG1), 1.1,
+                1.1 * 0.20);
+    EXPECT_NEAR(model_.totalSeconds(mot_s, GpuVariant::RsuG1), 0.04,
+                0.04 * 0.20);
+    EXPECT_NEAR(model_.totalSeconds(mot_hd, GpuVariant::RsuG1), 0.45,
+                0.45 * 0.20);
+    EXPECT_NEAR(model_.totalSeconds(mot_s, GpuVariant::RsuG4), 0.02,
+                0.02 * 0.20);
+    EXPECT_NEAR(model_.totalSeconds(mot_hd, GpuVariant::RsuG4), 0.21,
+                0.21 * 0.20);
+}
+
+TEST_F(GpuTable2Test, SpeedupShapesMatchFigure8)
+{
+    const auto seg_hd = segmentationWorkload(kHdWidth, kHdHeight);
+    const auto mot_hd = motionWorkload(kHdWidth, kHdHeight);
+
+    // Segmentation HD: ~3x over baseline GPU for RSU-G1, and G4
+    // adds nothing (M = 5 is issue-bound, not width-bound).
+    const double seg_g1 = model_.speedup(seg_hd, GpuVariant::RsuG1,
+                                         GpuVariant::Baseline);
+    EXPECT_NEAR(seg_g1, 3.0, 0.6);
+    const double seg_g4 = model_.speedup(seg_hd, GpuVariant::RsuG4,
+                                         GpuVariant::Baseline);
+    EXPECT_NEAR(seg_g4 / seg_g1, 1.0, 0.05);
+
+    // Motion HD: ~16x over baseline for G1, G4 roughly doubles it.
+    const double mot_g1 = model_.speedup(mot_hd, GpuVariant::RsuG1,
+                                         GpuVariant::Baseline);
+    EXPECT_NEAR(mot_g1, 16.0, 3.5);
+    const double mot_g4 = model_.speedup(mot_hd, GpuVariant::RsuG4,
+                                         GpuVariant::Baseline);
+    EXPECT_GT(mot_g4 / mot_g1, 1.6);
+
+    // Ordering invariants: RSU beats Opt beats Baseline everywhere.
+    for (const auto &w : {seg_hd, mot_hd}) {
+        EXPECT_GT(model_.speedup(w, GpuVariant::Optimized,
+                                 GpuVariant::Baseline),
+                  1.0);
+        EXPECT_GT(model_.speedup(w, GpuVariant::RsuG1,
+                                 GpuVariant::Optimized),
+                  1.0);
+    }
+}
+
+TEST_F(GpuTable2Test, SmallImagesUnderfillTheGpu)
+{
+    const auto small = segmentationWorkload(kSmallWidth, kSmallHeight);
+    const auto hd = segmentationWorkload(kHdWidth, kHdHeight);
+    EXPECT_LT(model_.occupancy(small), 0.6);
+    EXPECT_GT(model_.occupancy(hd), 0.9);
+}
+
+TEST_F(GpuTable2Test, RsuPowerBudgetMatchesSection83)
+{
+    EXPECT_NEAR(model_.rsuPowerW(15), 12.0, 0.15);
+}
+
+TEST(GpuModel, MemoryFloorBindsWhenComputeVanishes)
+{
+    GpuConfig tiny_bw;
+    tiny_bw.mem_bw_gbs = 0.001;
+    const GpuModel model(tiny_bw);
+    const auto w = segmentationWorkload(64, 64);
+    const double expected =
+        w.pixels() * w.bytes_per_pixel / (0.001 * 1e9);
+    EXPECT_DOUBLE_EQ(model.iterationSeconds(w, GpuVariant::RsuG1),
+                     expected);
+}
+
+TEST(GpuModel, RejectsBadConfig)
+{
+    GpuConfig bad;
+    bad.lanes = 0;
+    EXPECT_THROW(GpuModel{bad}, std::invalid_argument);
+}
+
+TEST(Accelerator, BandwidthBoundTimesMatchSection82)
+{
+    const AcceleratorModel accel;
+    // Paper: seg small 102400*5*5000/336e9 etc.
+    EXPECT_NEAR(accel.totalSeconds(
+                    segmentationWorkload(kSmallWidth, kSmallHeight)),
+                0.00762, 0.0002);
+    EXPECT_NEAR(accel.totalSeconds(
+                    segmentationWorkload(kHdWidth, kHdHeight)),
+                0.1543, 0.002);
+    EXPECT_NEAR(accel.totalSeconds(
+                    motionWorkload(kSmallWidth, kSmallHeight)),
+                0.00658, 0.0002);
+    EXPECT_NEAR(accel.totalSeconds(motionWorkload(kHdWidth,
+                                                  kHdHeight)),
+                0.1333, 0.002);
+}
+
+TEST(Accelerator, RequiresPaperUnitCount)
+{
+    const AcceleratorModel accel;
+    EXPECT_EQ(accel.requiredUnits(), 336);
+    EXPECT_NEAR(accel.rsuPowerW(15), 1.3, 0.03);
+}
+
+TEST(Accelerator, SpeedupsOverGpuMatchSection82)
+{
+    const AcceleratorModel accel;
+    const GpuModel gpu;
+
+    // Paper: 39 / 21 (seg small/HD), 84 / 54 (motion small/HD)
+    // over the baseline GPU. Our GPU times are modeled, so allow
+    // modest slack.
+    const auto seg_s = segmentationWorkload(kSmallWidth, kSmallHeight);
+    const auto seg_hd = segmentationWorkload(kHdWidth, kHdHeight);
+    const auto mot_s = motionWorkload(kSmallWidth, kSmallHeight);
+    const auto mot_hd = motionWorkload(kHdWidth, kHdHeight);
+
+    EXPECT_NEAR(gpu.totalSeconds(seg_s, GpuVariant::Baseline) /
+                    accel.totalSeconds(seg_s),
+                39.0, 5.0);
+    EXPECT_NEAR(gpu.totalSeconds(seg_hd, GpuVariant::Baseline) /
+                    accel.totalSeconds(seg_hd),
+                21.0, 3.0);
+    EXPECT_NEAR(gpu.totalSeconds(mot_s, GpuVariant::Baseline) /
+                    accel.totalSeconds(mot_s),
+                84.0, 12.0);
+    EXPECT_NEAR(gpu.totalSeconds(mot_hd, GpuVariant::Baseline) /
+                    accel.totalSeconds(mot_hd),
+                54.0, 8.0);
+
+    // Motion HD: only ~1.55x over the RSU-G4 GPU (it nearly
+    // saturates memory bandwidth).
+    EXPECT_NEAR(gpu.totalSeconds(mot_hd, GpuVariant::RsuG4) /
+                    accel.totalSeconds(mot_hd),
+                1.55, 0.4);
+}
+
+TEST(Accelerator, UnitsScaleWithBandwidth)
+{
+    AcceleratorConfig config;
+    config.mem_bw_gbs = 672.0;
+    const AcceleratorModel accel(config);
+    EXPECT_EQ(accel.requiredUnits(), 672);
+    EXPECT_NEAR(accel.totalSeconds(
+                    segmentationWorkload(kSmallWidth, kSmallHeight)),
+                0.00381, 0.0002);
+}
+
+TEST(Cpu, RsuAugmentedCoreExceedsHundredFold)
+{
+    const CpuModel cpu;
+    const auto seg = segmentationWorkload(kSmallWidth, kSmallHeight);
+    const auto stereo = stereoWorkload(kSmallWidth, kSmallHeight);
+    EXPECT_GT(cpu.speedup(seg), 100.0);
+    EXPECT_GT(cpu.speedup(stereo), 100.0);
+    EXPECT_GT(cpu.baselineSeconds(seg), cpu.rsuSeconds(seg));
+}
+
+TEST(Workloads, ByteAccountingMatchesSection82)
+{
+    EXPECT_EQ(segmentationWorkload(10, 10).bytes_per_pixel, 5);
+    EXPECT_EQ(motionWorkload(10, 10).bytes_per_pixel, 54);
+    EXPECT_EQ(segmentationWorkload(10, 10).num_labels, 5);
+    EXPECT_EQ(motionWorkload(10, 10).num_labels, 49);
+    EXPECT_EQ(segmentationWorkload(10, 10).iterations, 5000);
+    EXPECT_EQ(motionWorkload(10, 10).iterations, 400);
+    EXPECT_EQ(motionWorkload(3, 4).pixels(), 12);
+}
+
+} // namespace

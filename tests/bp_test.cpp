@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for loopy belief propagation: exactness on trees, quality
+ * on loopy grids, and its role as the deterministic comparator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mrf/belief_propagation.h"
+#include "mrf/exact.h"
+#include "mrf/gibbs.h"
+#include "mrf/grid_mrf.h"
+#include "vision/metrics.h"
+#include "vision/motion.h"
+#include "vision/segmentation.h"
+#include "vision/synthetic.h"
+
+namespace {
+
+using namespace rsu::mrf;
+
+/** Small deterministic singleton model for oracle comparisons. */
+class ToySingleton : public SingletonModel
+{
+  public:
+    uint8_t
+    data1(int x, int y) const override
+    {
+        return static_cast<uint8_t>((7 * x + 11 * y) % 30);
+    }
+
+    uint8_t
+    data2(int, int, Label label) const override
+    {
+        return static_cast<uint8_t>((label * 9) & 0x3f);
+    }
+};
+
+MrfConfig
+toyConfig(int w, int h, int labels, double t = 10.0)
+{
+    MrfConfig config;
+    config.width = w;
+    config.height = h;
+    config.num_labels = labels;
+    config.temperature = t;
+    return config;
+}
+
+TEST(BeliefPropagation, ExactOnChains)
+{
+    // A 1-pixel-wide model is a tree: sum-product BP must match
+    // the brute-force marginals exactly.
+    ToySingleton singleton;
+    GridMrf mrf(toyConfig(6, 1, 3), singleton);
+    const ExactInference exact(mrf);
+
+    BeliefPropagation bp(mrf);
+    const int iters = bp.run();
+    EXPECT_TRUE(bp.converged());
+    EXPECT_LE(iters, 20);
+    for (int x = 0; x < 6; ++x) {
+        const auto b = bp.belief(x, 0);
+        const auto truth = exact.marginal(x, 0);
+        for (int l = 0; l < 3; ++l)
+            EXPECT_NEAR(b[l], truth[l], 1e-6)
+                << "site " << x << " label " << l;
+    }
+}
+
+TEST(BeliefPropagation, ExactOnColumns)
+{
+    ToySingleton singleton;
+    GridMrf mrf(toyConfig(1, 7, 2), singleton);
+    const ExactInference exact(mrf);
+    BeliefPropagation bp(mrf);
+    bp.run();
+    for (int y = 0; y < 7; ++y) {
+        const auto b = bp.belief(0, y);
+        const auto truth = exact.marginal(0, y);
+        EXPECT_NEAR(b[0], truth[0], 1e-6) << "site " << y;
+    }
+}
+
+TEST(BeliefPropagation, CloseToExactOnLoopyGrids)
+{
+    ToySingleton singleton;
+    GridMrf mrf(toyConfig(3, 3, 3), singleton);
+    const ExactInference exact(mrf);
+    BeliefPropagation bp(mrf);
+    bp.run();
+    EXPECT_TRUE(bp.converged());
+    for (int y = 0; y < 3; ++y) {
+        for (int x = 0; x < 3; ++x) {
+            const auto b = bp.belief(x, y);
+            const auto truth = exact.marginal(x, y);
+            for (int l = 0; l < 3; ++l)
+                EXPECT_NEAR(b[l], truth[l], 0.05);
+        }
+    }
+}
+
+TEST(BeliefPropagation, MaxProductDecodesTheChainMap)
+{
+    ToySingleton singleton;
+    GridMrf mrf(toyConfig(6, 1, 3, 6.0), singleton);
+    const ExactInference exact(mrf);
+
+    BpConfig config;
+    config.max_product = true;
+    config.max_iterations = 200;
+    BeliefPropagation bp(mrf, config);
+    bp.run();
+    const auto decoded = bp.decode();
+
+    // Max-marginal decoding reaches a configuration with the MAP's
+    // energy (per-site argmax can differ from the joint MAP only
+    // through ties, which leave the energy unchanged).
+    GridMrf scratch(mrf.config(), mrf.singleton());
+    scratch.setLabels(decoded);
+    const int64_t decoded_energy = scratch.totalEnergy();
+    scratch.setLabels(exact.mapLabels());
+    EXPECT_EQ(decoded_energy, scratch.totalEnergy());
+}
+
+TEST(BeliefPropagation, DampingStillConverges)
+{
+    ToySingleton singleton;
+    GridMrf mrf(toyConfig(4, 4, 3), singleton);
+    BpConfig config;
+    config.damping = 0.5;
+    config.max_iterations = 200;
+    BeliefPropagation bp(mrf, config);
+    bp.run();
+    EXPECT_TRUE(bp.converged());
+    EXPECT_GT(bp.messageUpdates(), 0u);
+}
+
+TEST(BeliefPropagation, ValidatesConfig)
+{
+    ToySingleton singleton;
+    GridMrf mrf(toyConfig(2, 2, 2), singleton);
+    BpConfig bad;
+    bad.max_iterations = 0;
+    EXPECT_THROW(BeliefPropagation(mrf, bad),
+                 std::invalid_argument);
+    bad = BpConfig{};
+    bad.damping = 1.0;
+    EXPECT_THROW(BeliefPropagation(mrf, bad),
+                 std::invalid_argument);
+}
+
+TEST(BeliefPropagation, SegmentationQualityComparableToGibbs)
+{
+    // The deterministic comparator should be competitive on an
+    // easy loopy problem — and the sampler must at least match it.
+    rsu::rng::Xoshiro256 rng(6);
+    const auto scene =
+        rsu::vision::makeSegmentationScene(32, 24, 4, 2.5, rng);
+    rsu::vision::SegmentationModel model(scene.image,
+                                         scene.region_means);
+    const auto config =
+        rsu::vision::segmentationConfig(scene.image, 4, 6.0, 6);
+    GridMrf mrf(config, model);
+
+    BpConfig bp_config;
+    bp_config.damping = 0.3;
+    bp_config.max_iterations = 100;
+    BeliefPropagation bp(mrf, bp_config);
+    bp.run();
+    const double bp_acc = rsu::vision::labelAccuracy(
+        bp.decode(), scene.truth);
+
+    GridMrf mrf_gibbs(config, model);
+    mrf_gibbs.initializeMaximumLikelihood();
+    GibbsSampler gibbs(mrf_gibbs, 4);
+    gibbs.run(40);
+    const double gibbs_acc = rsu::vision::labelAccuracy(
+        mrf_gibbs.labels(), scene.truth);
+
+    EXPECT_GT(bp_acc, 0.85);
+    EXPECT_GT(gibbs_acc, bp_acc - 0.05);
+}
+
+TEST(BeliefPropagation, VectorLabelCodesWork)
+{
+    // BP over a motion model exercises the non-contiguous code
+    // table through codeOf().
+    rsu::rng::Xoshiro256 rng(8);
+    const auto scene =
+        rsu::vision::makeMotionScene(10, 8, 1, 1, 0.5, rng);
+    rsu::vision::MotionModel model(scene.frame1, scene.frame2, 1);
+    const auto config =
+        rsu::vision::motionConfig(scene.frame1, 1, 4.0, 2);
+    GridMrf mrf(config, model);
+    BeliefPropagation bp(mrf);
+    bp.run();
+    const auto decoded = bp.decode();
+    // All decoded labels are valid codes of the model.
+    for (Label l : decoded)
+        EXPECT_GE(mrf.indexOfCode(l), 0);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the MCMC convergence diagnostics, including their
+ * behaviour on actual sampler output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mrf/diagnostics.h"
+#include "mrf/estimator.h"
+#include "mrf/gibbs.h"
+#include "mrf/metropolis.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro256.h"
+#include "vision/segmentation.h"
+#include "vision/synthetic.h"
+
+namespace {
+
+using namespace rsu::mrf;
+
+TEST(GelmanRubin, NearOneForIdenticallyDistributedChains)
+{
+    rsu::rng::Xoshiro256 rng(1);
+    std::vector<std::vector<double>> chains(4);
+    for (auto &c : chains) {
+        c.resize(2000);
+        for (auto &x : c)
+            x = rsu::rng::sampleNormal(rng, 5.0, 2.0);
+    }
+    const double rhat = gelmanRubin(chains);
+    EXPECT_NEAR(rhat, 1.0, 0.02);
+}
+
+TEST(GelmanRubin, DetectsChainsStuckInDifferentModes)
+{
+    rsu::rng::Xoshiro256 rng(2);
+    std::vector<std::vector<double>> chains(2);
+    for (int j = 0; j < 2; ++j) {
+        chains[j].resize(500);
+        for (auto &x : chains[j])
+            x = rsu::rng::sampleNormal(rng, j * 10.0, 1.0);
+    }
+    EXPECT_GT(gelmanRubin(chains), 2.0);
+}
+
+TEST(GelmanRubin, HandlesDegenerateChains)
+{
+    const std::vector<std::vector<double>> frozen_same = {
+        {3.0, 3.0, 3.0}, {3.0, 3.0, 3.0}};
+    EXPECT_DOUBLE_EQ(gelmanRubin(frozen_same), 1.0);
+    const std::vector<std::vector<double>> frozen_apart = {
+        {3.0, 3.0, 3.0}, {4.0, 4.0, 4.0}};
+    EXPECT_TRUE(std::isinf(gelmanRubin(frozen_apart)));
+}
+
+TEST(GelmanRubin, ValidatesInput)
+{
+    EXPECT_THROW(gelmanRubin({{1.0, 2.0}}), std::invalid_argument);
+    EXPECT_THROW(gelmanRubin({{1.0}, {2.0}}), std::invalid_argument);
+    EXPECT_THROW(gelmanRubin({{1.0, 2.0}, {1.0}}),
+                 std::invalid_argument);
+}
+
+TEST(AutocorrelationTime, NearOneForIndependentSamples)
+{
+    rsu::rng::Xoshiro256 rng(3);
+    std::vector<double> chain(8000);
+    for (auto &x : chain)
+        x = rng.uniform();
+    const double tau = autocorrelationTime(chain);
+    EXPECT_NEAR(tau, 1.0, 0.3);
+    EXPECT_NEAR(effectiveSampleSize(chain), 8000.0, 2500.0);
+}
+
+TEST(AutocorrelationTime, GrowsForCorrelatedChains)
+{
+    // AR(1) with coefficient 0.9: tau = (1+rho)/(1-rho) = 19.
+    rsu::rng::Xoshiro256 rng(4);
+    std::vector<double> chain(20000);
+    double x = 0.0;
+    for (auto &v : chain) {
+        x = 0.9 * x + rsu::rng::sampleNormal(rng, 0.0, 1.0);
+        v = x;
+    }
+    const double tau = autocorrelationTime(chain);
+    EXPECT_GT(tau, 10.0);
+    EXPECT_LT(tau, 30.0);
+}
+
+TEST(AutocorrelationTime, ConstantChainIsTrivial)
+{
+    const std::vector<double> chain(100, 7.0);
+    EXPECT_DOUBLE_EQ(autocorrelationTime(chain), 1.0);
+    EXPECT_THROW(autocorrelationTime({1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(Diagnostics, GibbsChainsMixOnSegmentation)
+{
+    // Four independent Gibbs chains on the same model must agree
+    // (R-hat ~ 1) after burn-in; Gibbs should also decorrelate
+    // faster than Metropolis on the same problem.
+    rsu::rng::Xoshiro256 rng(5);
+    const auto scene =
+        rsu::vision::makeSegmentationScene(24, 20, 4, 2.5, rng);
+    rsu::vision::SegmentationModel model(scene.image,
+                                         scene.region_means);
+    const auto config =
+        rsu::vision::segmentationConfig(scene.image, 4, 8.0, 4);
+
+    auto energy_chain = [&](uint64_t seed, bool metropolis) {
+        GridMrf mrf(config, model);
+        mrf.initializeMaximumLikelihood();
+        std::vector<double> chain;
+        if (metropolis) {
+            MetropolisSampler sampler(mrf, seed);
+            sampler.run(20); // burn-in
+            for (int i = 0; i < 150; ++i) {
+                sampler.sweep();
+                chain.push_back(
+                    static_cast<double>(mrf.totalEnergy()));
+            }
+        } else {
+            GibbsSampler sampler(mrf, seed);
+            sampler.run(20);
+            for (int i = 0; i < 150; ++i) {
+                sampler.sweep();
+                chain.push_back(
+                    static_cast<double>(mrf.totalEnergy()));
+            }
+        }
+        return chain;
+    };
+
+    std::vector<std::vector<double>> chains;
+    for (uint64_t seed : {11u, 22u, 33u, 44u})
+        chains.push_back(energy_chain(seed, false));
+    EXPECT_LT(gelmanRubin(chains), 1.1);
+
+    const double tau_gibbs = autocorrelationTime(chains[0]);
+    const double tau_mh =
+        autocorrelationTime(energy_chain(11, true));
+    EXPECT_LT(tau_gibbs, tau_mh + 1.0);
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Edge-case and error-path coverage across modules: degenerate
+ * sizes, boundary parameters, and defensive-programming contracts
+ * not exercised by the main suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rsu.h"
+
+namespace {
+
+TEST(EdgeRng, BelowOneIsAlwaysZero)
+{
+    rsu::rng::Xoshiro256 rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(EdgeRng, SingleOutcomeSamplersAreDeterministic)
+{
+    rsu::rng::Xoshiro256 rng(2);
+    const rsu::rng::CdfSampler cdf({3.0});
+    const rsu::rng::AliasSampler alias({3.0});
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(cdf.sample(rng), 0);
+        EXPECT_EQ(alias.sample(rng), 0);
+    }
+    EXPECT_DOUBLE_EQ(cdf.probability(0), 1.0);
+    EXPECT_DOUBLE_EQ(alias.probability(0), 1.0);
+}
+
+TEST(EdgeRng, RaceWithOneClockAlwaysPicksIt)
+{
+    rsu::rng::Xoshiro256 rng(3);
+    const double rate = 2.0;
+    int winner = -1;
+    const double t =
+        rsu::rng::sampleExponentialRace(rng, &rate, 1, &winner);
+    EXPECT_EQ(winner, 0);
+    EXPECT_GT(t, 0.0);
+}
+
+TEST(EdgeRet, ExplicitBaseRateOverridesDerivation)
+{
+    rsu::ret::RetCircuitConfig config;
+    config.base_rate_per_ns = 0.25;
+    rsu::ret::RetCircuit circ(config);
+    EXPECT_DOUBLE_EQ(circ.network().effectiveRate(), 0.25);
+    // Default derivation: 1 / max intensity.
+    rsu::ret::RetCircuit def;
+    EXPECT_NEAR(def.network().effectiveRate() *
+                    def.leds().maxIntensity(),
+                1.0, 1e-9);
+}
+
+TEST(EdgeRet, InvalidConfigsThrow)
+{
+    rsu::ret::RetCircuitConfig bad;
+    bad.quiescence_cycles = -1;
+    EXPECT_THROW(rsu::ret::RetCircuit{bad}, std::invalid_argument);
+    EXPECT_THROW(rsu::ret::TtfTimer{0.0}, std::invalid_argument);
+    EXPECT_THROW(rsu::ret::ExponentialNetwork{0.0},
+                 std::invalid_argument);
+}
+
+TEST(EdgeMrf, SingleSiteModelWorks)
+{
+    class Flat : public rsu::mrf::SingletonModel
+    {
+      public:
+        uint8_t data1(int, int) const override { return 10; }
+        uint8_t
+        data2(int, int, rsu::mrf::Label l) const override
+        {
+            return l ? 30 : 10;
+        }
+    };
+    Flat flat;
+    rsu::mrf::MrfConfig config;
+    config.width = 1;
+    config.height = 1;
+    config.num_labels = 2;
+    config.temperature = 8.0;
+    rsu::mrf::GridMrf mrf(config, flat);
+    // No neighbours at all: the conditional is pure singleton.
+    const auto in = mrf.inputsAt(0, 0);
+    for (bool v : in.neighbor_valid)
+        EXPECT_FALSE(v);
+    const auto dist = mrf.conditionalDistribution(0, 0);
+    EXPECT_GT(dist[0], dist[1]);
+
+    rsu::mrf::GibbsSampler sampler(mrf, 7);
+    sampler.run(10); // must not crash
+    const rsu::mrf::ExactInference exact(mrf);
+    EXPECT_NEAR(exact.marginal(0, 0)[0], dist[0], 1e-9);
+}
+
+TEST(EdgeMrf, EstimatorBeforeRunIsEmpty)
+{
+    class Flat : public rsu::mrf::SingletonModel
+    {
+      public:
+        uint8_t data1(int, int) const override { return 0; }
+        uint8_t
+        data2(int, int, rsu::mrf::Label) const override
+        {
+            return 0;
+        }
+    };
+    Flat flat;
+    rsu::mrf::MrfConfig config;
+    config.width = 2;
+    config.height = 2;
+    config.num_labels = 2;
+    rsu::mrf::GridMrf mrf(config, flat);
+    rsu::mrf::MarginalMapEstimator est(mrf, 0);
+    EXPECT_EQ(est.retained(), 0);
+    const auto marginal = est.empiricalMarginal(0, 0);
+    EXPECT_DOUBLE_EQ(marginal[0], 0.0);
+    EXPECT_THROW(rsu::mrf::MarginalMapEstimator(mrf, -1),
+                 std::invalid_argument);
+}
+
+TEST(EdgeMrf, AnnealRestoresTheBestLabelling)
+{
+    // A schedule that ends hot would leave a worse state; anneal()
+    // must restore the best-seen labelling regardless.
+    rsu::rng::Xoshiro256 rng(9);
+    const auto scene =
+        rsu::vision::makeSegmentationScene(16, 12, 3, 2.0, rng);
+    rsu::vision::SegmentationModel model(scene.image,
+                                         scene.region_means);
+    const auto config =
+        rsu::vision::segmentationConfig(scene.image, 3, 4.0, 4);
+    rsu::mrf::GridMrf mrf(config, model);
+    mrf.initializeMaximumLikelihood();
+    rsu::mrf::GibbsSampler sampler(mrf, 3);
+
+    // "Anti-annealing": heat up; the best state is the early one.
+    rsu::mrf::AnnealingSchedule heat;
+    heat.start_temperature = 40.0;
+    heat.stop_temperature = 30.0;
+    heat.cooling_factor = 0.9;
+    heat.sweeps_per_stage = 5;
+    const int64_t best = rsu::mrf::anneal(
+        mrf, heat, [&](double t) { mrf.setTemperature(t); },
+        [&] { sampler.sweep(); });
+    EXPECT_EQ(best, mrf.totalEnergy());
+}
+
+TEST(EdgeVision, RequantizeUpscalesToo)
+{
+    rsu::vision::Image img(2, 1, 63);
+    img.set(0, 0, 0);
+    img.set(1, 0, 63);
+    const auto up = img.requantized(255);
+    EXPECT_EQ(up.at(0, 0), 0);
+    EXPECT_EQ(up.at(1, 0), 255);
+}
+
+TEST(EdgeVision, RecallModelValidatesStrength)
+{
+    rsu::rng::Xoshiro256 rng(4);
+    const auto pattern = rsu::vision::makeBinaryPattern(8, 8, rng);
+    const auto problem =
+        rsu::vision::corruptPattern(pattern, 8, 8, 0.2, 0.1, rng);
+    EXPECT_THROW(rsu::vision::RecallModel(problem, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(rsu::vision::RecallModel(problem, 64),
+                 std::invalid_argument);
+    EXPECT_THROW(rsu::vision::corruptPattern(pattern, 8, 8, 1.5,
+                                             0.0, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(rsu::vision::corruptPattern(pattern, 4, 4, 0.1,
+                                             0.0, rng),
+                 std::invalid_argument);
+}
+
+TEST(EdgeVision, DenoiseLevelsAreMonotone)
+{
+    rsu::vision::Image img(2, 2, 63, 30);
+    const rsu::vision::DenoiseModel model(img, 8);
+    for (int l = 1; l < 8; ++l) {
+        EXPECT_GT(model.levelValue(static_cast<rsu::core::Label>(l)),
+                  model.levelValue(
+                      static_cast<rsu::core::Label>(l - 1)));
+    }
+}
+
+TEST(EdgeArch, SpeedupOfAVariantOverItselfIsOne)
+{
+    const rsu::arch::GpuModel model;
+    const auto w = rsu::arch::segmentationWorkload(64, 64);
+    for (auto v :
+         {rsu::arch::GpuVariant::Baseline,
+          rsu::arch::GpuVariant::RsuG4}) {
+        EXPECT_DOUBLE_EQ(model.speedup(w, v, v), 1.0);
+    }
+}
+
+TEST(EdgeArch, WorkloadNamesAreStable)
+{
+    EXPECT_EQ(rsu::arch::segmentationWorkload(1, 1).name,
+              "image-segmentation");
+    EXPECT_EQ(rsu::arch::motionWorkload(1, 1).name,
+              "dense-motion-estimation");
+    EXPECT_EQ(rsu::arch::stereoWorkload(1, 1).name,
+              "stereo-vision");
+}
+
+TEST(EdgeProto, AchievedRateChannelSelector)
+{
+    rsu::proto::PrototypeConfig config;
+    config.calib_sigma_low = 0.0;
+    config.calib_sigma_high = 0.0;
+    config.saturation = 0.0;
+    rsu::proto::PrototypeRsuG2 proto(config, 1);
+    proto.configure(4.0, 1.0);
+    EXPECT_GT(proto.achievedRate(0), proto.achievedRate(1));
+    // Any non-zero channel index means channel 1.
+    EXPECT_DOUBLE_EQ(proto.achievedRate(5), proto.achievedRate(1));
+}
+
+TEST(EdgeCore, RsuGHandlesSingleLabelModels)
+{
+    // M = 1 is degenerate but legal: the only candidate always
+    // wins (its TTF may even saturate).
+    rsu::core::RsuG unit(rsu::core::RsuGConfig{}, 5);
+    unit.initialize(1, 16.0);
+    rsu::core::EnergyInputs in;
+    in.neighbors = {0, 0, 0, 0};
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(unit.sample(in), 0);
+    const auto dist = unit.raceDistribution(in);
+    ASSERT_EQ(dist.size(), 1u);
+    EXPECT_NEAR(dist[0], 1.0, 1e-9);
+}
+
+TEST(EdgeCore, IntensityMapCustomSizes)
+{
+    rsu::core::IntensityMap tiny(32);
+    EXPECT_EQ(tiny.entries(), 32);
+    EXPECT_EQ(tiny.words(), 2);
+    EXPECT_EQ(tiny.sizeBytes(), 16);
+    tiny.build(rsu::ret::QdLedBank(), 8.0);
+    EXPECT_EQ(tiny.lookup(31), tiny.lookup(1000)); // clamps
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the Förster-theory spectral model and its cascade
+ * networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ret/forster.h"
+#include "rng/stats.h"
+#include "rng/xoshiro256.h"
+
+namespace {
+
+using namespace rsu::ret;
+
+Chromophore
+donorDye()
+{
+    Chromophore c;
+    c.emission_peak_nm = 570.0;
+    c.excitation_peak_nm = 550.0;
+    return c;
+}
+
+Chromophore
+acceptorDye()
+{
+    Chromophore c;
+    c.emission_peak_nm = 670.0;
+    c.excitation_peak_nm = 600.0;
+    return c;
+}
+
+TEST(Forster, TypicalPairLandsNearFiveNanometres)
+{
+    Chromophore acceptor = donorDye();
+    acceptor.excitation_peak_nm = 550.0; // perfect overlap case
+    const double r0 = forsterRadius(donorDye(), acceptor);
+    EXPECT_GT(r0, 4.0);
+    EXPECT_LT(r0, 7.0);
+}
+
+TEST(Forster, OverlapDecreasesWithPeakSeparation)
+{
+    const Chromophore donor = donorDye();
+    double prev = 1e18;
+    for (double peak : {570.0, 600.0, 630.0, 680.0}) {
+        Chromophore acceptor = acceptorDye();
+        acceptor.excitation_peak_nm = peak;
+        const double j = spectralOverlap(donor, acceptor);
+        EXPECT_LT(j, prev);
+        prev = j;
+    }
+}
+
+TEST(Forster, RateAtR0EqualsDecayRate)
+{
+    const Chromophore donor = donorDye();
+    const Chromophore acceptor = acceptorDye();
+    const double r0 = forsterRadius(donor, acceptor);
+    const double k = transferRate(donor, acceptor, r0);
+    EXPECT_NEAR(k, 1.0 / donor.lifetime_ns, 1e-9);
+    EXPECT_NEAR(transferEfficiency(donor, acceptor, r0), 0.5,
+                1e-9);
+}
+
+TEST(Forster, RateFollowsInverseSixthPower)
+{
+    const Chromophore donor = donorDye();
+    const Chromophore acceptor = acceptorDye();
+    const double k1 = transferRate(donor, acceptor, 4.0);
+    const double k2 = transferRate(donor, acceptor, 8.0);
+    EXPECT_NEAR(k1 / k2, 64.0, 1e-6);
+}
+
+TEST(Forster, EfficiencyIsMonotoneInDistance)
+{
+    const Chromophore donor = donorDye();
+    const Chromophore acceptor = acceptorDye();
+    double prev = 1.1;
+    for (double r : {2.0, 4.0, 6.0, 8.0, 12.0}) {
+        const double e = transferEfficiency(donor, acceptor, r);
+        EXPECT_LT(e, prev);
+        EXPECT_GT(e, 0.0);
+        prev = e;
+    }
+}
+
+TEST(Forster, QuantumYieldScalesR0Sixth)
+{
+    Chromophore bright = donorDye();
+    Chromophore dim = donorDye();
+    dim.quantum_yield = bright.quantum_yield / 2.0;
+    const Chromophore acceptor = acceptorDye();
+    const double ratio = forsterRadius(bright, acceptor) /
+                         forsterRadius(dim, acceptor);
+    EXPECT_NEAR(std::pow(ratio, 6.0), 2.0, 1e-6);
+}
+
+TEST(Forster, ValidatesInputs)
+{
+    Chromophore bad = donorDye();
+    bad.lifetime_ns = 0.0;
+    EXPECT_THROW(spectralOverlap(bad, acceptorDye()),
+                 std::invalid_argument);
+    EXPECT_THROW(transferRate(donorDye(), acceptorDye(), 0.0),
+                 std::invalid_argument);
+    RetMedium vacuumish;
+    vacuumish.refractive_index = 0.0;
+    EXPECT_THROW(
+        forsterRadius(donorDye(), acceptorDye(), vacuumish),
+        std::invalid_argument);
+}
+
+TEST(Forster, CascadeEfficiencyMatchesSampledNetwork)
+{
+    // Two-hop cascade at moderate coupling; the fraction of bright
+    // (finite-TTF) samples must match the analytic efficiency.
+    const std::vector<Chromophore> chain = {donorDye(), donorDye(),
+                                            acceptorDye()};
+    const std::vector<double> spacings = {4.5, 5.0};
+    const double analytic = cascadeEfficiency(chain, spacings);
+    EXPECT_GT(analytic, 0.1);
+    EXPECT_LT(analytic, 0.95);
+
+    const auto network = buildCascadeNetwork(chain, spacings);
+    rsu::rng::Xoshiro256 rng(9);
+    int bright = 0;
+    constexpr int kDraws = 60000;
+    for (int i = 0; i < kDraws; ++i) {
+        if (std::isfinite(network.sampleTtf(rng)))
+            ++bright;
+    }
+    EXPECT_NEAR(bright / double(kDraws), analytic, 0.01);
+}
+
+TEST(Forster, CascadeTimingIsHypoexponential)
+{
+    // Single-chromophore "cascade": the bright-photon time is the
+    // terminal lifetime; mean of bright samples ~ tau.
+    const std::vector<Chromophore> chain = {donorDye()};
+    const auto network = buildCascadeNetwork(chain, {});
+    rsu::rng::Xoshiro256 rng(11);
+    rsu::rng::RunningMoments m;
+    for (int i = 0; i < 60000; ++i) {
+        const double t = network.sampleTtf(rng);
+        if (std::isfinite(t))
+            m.add(t);
+    }
+    EXPECT_NEAR(m.mean(), donorDye().lifetime_ns, 0.05);
+    // Bright fraction = quantum yield.
+    EXPECT_NEAR(m.count() / 60000.0, donorDye().quantum_yield,
+                0.01);
+}
+
+TEST(Forster, CascadeShapesValidate)
+{
+    EXPECT_THROW(buildCascadeNetwork({}, {}), std::invalid_argument);
+    EXPECT_THROW(buildCascadeNetwork({donorDye()}, {3.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(cascadeEfficiency({donorDye(), donorDye()}, {}),
+                 std::invalid_argument);
+}
+
+} // namespace

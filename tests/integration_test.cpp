@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Integration tests: whole applications driven end-to-end through
+ * the public API, spanning vision models, MRF samplers, the RSU-G
+ * device, its instruction interface, and the estimators.
+ */
+
+#include <gtest/gtest.h>
+
+// The umbrella header must compile standalone; the integration
+// suite uses it as its include, which pins that property.
+#include "rsu.h"
+
+#include "core/rsu_g.h"
+#include "core/rsu_isa.h"
+#include "rng/distributions.h"
+#include "mrf/estimator.h"
+#include "mrf/gibbs.h"
+#include "mrf/icm.h"
+#include "mrf/rsu_gibbs.h"
+#include "vision/denoise.h"
+#include "vision/metrics.h"
+#include "vision/motion.h"
+#include "vision/segmentation.h"
+#include "vision/stereo.h"
+#include "vision/synthetic.h"
+
+namespace {
+
+using namespace rsu::mrf;
+using namespace rsu::vision;
+using rsu::core::RsuG;
+
+TEST(EndToEnd, SegmentationRecoversRegions)
+{
+    rsu::rng::Xoshiro256 rng(2016);
+    const auto scene = makeSegmentationScene(48, 40, 4, 2.5, rng);
+    SegmentationModel model(scene.image, scene.region_means);
+    const auto config = segmentationConfig(scene.image, 4, 6.0, 6);
+
+    GridMrf mrf(config, model);
+    mrf.initializeMaximumLikelihood();
+    RsuG unit(RsuGibbsSampler::unitConfigFor(mrf), 1);
+    RsuGibbsSampler sampler(mrf, unit);
+    MarginalMapEstimator est(mrf, 10);
+    est.run(60, [&] { sampler.sweep(); });
+
+    const double acc =
+        labelAccuracy(est.estimate(), scene.truth);
+    EXPECT_GT(acc, 0.9);
+}
+
+TEST(EndToEnd, SegmentationRsuTracksSoftwareGibbs)
+{
+    rsu::rng::Xoshiro256 rng(7);
+    const auto scene = makeSegmentationScene(40, 32, 5, 2.5, rng);
+    SegmentationModel model(scene.image, scene.region_means);
+    const auto config = segmentationConfig(scene.image, 5, 6.0, 6);
+
+    GridMrf mrf_sw(config, model);
+    mrf_sw.initializeMaximumLikelihood();
+    GridMrf mrf_dev(config, model);
+    mrf_dev.setLabels(mrf_sw.labels());
+
+    GibbsSampler sw(mrf_sw, 3);
+    RsuG unit(RsuGibbsSampler::unitConfigFor(mrf_dev), 4);
+    RsuGibbsSampler dev(mrf_dev, unit);
+
+    sw.run(40);
+    dev.run(40);
+
+    // Equilibrium energies within 10% of each other and final
+    // labellings in high agreement.
+    const double e_sw = static_cast<double>(mrf_sw.totalEnergy());
+    const double e_dev = static_cast<double>(mrf_dev.totalEnergy());
+    EXPECT_NEAR(e_dev / e_sw, 1.0, 0.10);
+    EXPECT_GT(labelAccuracy(mrf_sw.labels(), mrf_dev.labels()),
+              0.9);
+}
+
+TEST(EndToEnd, MotionEstimationRecoversTheField)
+{
+    rsu::rng::Xoshiro256 rng(99);
+    const auto scene = makeMotionScene(48, 40, 2, 3, 1.0, rng);
+    MotionModel model(scene.frame1, scene.frame2, 3);
+    const auto config = motionConfig(scene.frame1, 3);
+
+    GridMrf mrf(config, model);
+    mrf.initializeMaximumLikelihood();
+    const double init_epe =
+        meanEndpointError(mrf.labels(), scene.truth);
+
+    auto ucfg = RsuGibbsSampler::unitConfigFor(mrf);
+    ucfg.width = 4; // RSU-G4, as the paper recommends for M = 49
+    RsuG unit(ucfg, 5);
+    RsuGibbsSampler sampler(mrf, unit);
+    MarginalMapEstimator est(mrf, 10);
+    est.run(60, [&] { sampler.sweep(); });
+
+    const double epe =
+        meanEndpointError(est.estimate(), scene.truth);
+    EXPECT_LT(epe, 0.5);
+    EXPECT_LT(epe, init_epe * 0.5);
+}
+
+TEST(EndToEnd, StereoThroughTheIsaInterface)
+{
+    rsu::rng::Xoshiro256 rng(123);
+    const auto scene = makeStereoScene(64, 56, 5, 1.0, rng);
+    StereoModel model(scene.left, scene.right, 5);
+    const auto config = stereoConfig(scene.left, 5, 6.0, 6);
+
+    GridMrf mrf(config, model);
+    mrf.initializeMaximumLikelihood();
+    RsuG unit(RsuGibbsSampler::unitConfigFor(mrf), 6);
+    RsuGibbsSampler sampler(mrf, unit, Schedule::Checkerboard,
+                            RsuGibbsSampler::Mode::Isa);
+    MarginalMapEstimator est(mrf, 10);
+    est.run(60, [&] { sampler.sweep(); });
+
+    EXPECT_GT(labelAccuracy(est.estimate(), scene.truth), 0.85);
+    // ISA accounting: 5 instructions per site update.
+    EXPECT_EQ(sampler.rsuInstructions(),
+              static_cast<uint64_t>(64) * 56 * 60 * 5);
+}
+
+TEST(EndToEnd, DenoiseImprovesPsnr)
+{
+    rsu::rng::Xoshiro256 rng(31);
+    const auto scene = makeSegmentationScene(48, 40, 6, 0.0, rng);
+    const Image &clean = scene.image;
+    Image noisy = clean;
+    for (auto &p : noisy.pixels()) {
+        p = clampPixel(
+            p + rsu::rng::sampleNormal(rng, 0.0, 5.0), 63);
+    }
+
+    DenoiseModel model(noisy, 6);
+    const auto config = denoiseConfig(noisy, 6);
+    GridMrf mrf(config, model);
+    mrf.initializeMaximumLikelihood();
+
+    RsuG unit(RsuGibbsSampler::unitConfigFor(mrf), 8);
+    RsuGibbsSampler sampler(mrf, unit);
+    MarginalMapEstimator est(mrf, 10);
+    est.run(60, [&] { sampler.sweep(); });
+
+    const Image restored = model.reconstruct(est.estimate());
+    EXPECT_GT(psnr(restored, clean), psnr(noisy, clean) + 1.0);
+}
+
+TEST(EndToEnd, GibbsBeatsIcmOnMotion)
+{
+    // The paper's core argument for MCMC over deterministic
+    // solvers: ICM gets stuck in local minima on hard problems.
+    rsu::rng::Xoshiro256 rng(99);
+    const auto scene = makeMotionScene(48, 40, 2, 3, 1.0, rng);
+    MotionModel model(scene.frame1, scene.frame2, 3);
+    const auto config = motionConfig(scene.frame1, 3);
+
+    GridMrf mrf_icm(config, model);
+    mrf_icm.initializeMaximumLikelihood();
+    IcmSolver icm(mrf_icm);
+    icm.solve();
+
+    GridMrf mrf_gibbs(config, model);
+    mrf_gibbs.initializeMaximumLikelihood();
+    GibbsSampler gibbs(mrf_gibbs, 11);
+    gibbs.run(60);
+
+    EXPECT_LT(meanEndpointError(mrf_gibbs.labels(), scene.truth),
+              meanEndpointError(mrf_icm.labels(), scene.truth));
+}
+
+TEST(EndToEnd, ContextSwitchPreservesInference)
+{
+    // Two applications share one RSU-G via save/restore; the
+    // interrupted application's chain statistics are unaffected
+    // because the read-result boundary is idempotent.
+    rsu::rng::Xoshiro256 rng(55);
+    const auto scene = makeSegmentationScene(24, 20, 3, 2.5, rng);
+    SegmentationModel model(scene.image, scene.region_means);
+    const auto config = segmentationConfig(scene.image, 3, 6.0, 6);
+
+    GridMrf mrf(config, model);
+    mrf.initializeMaximumLikelihood();
+    RsuG unit(RsuGibbsSampler::unitConfigFor(mrf), 9);
+    RsuGibbsSampler sampler(mrf, unit);
+    rsu::core::RsuDevice device(unit);
+
+    for (int iter = 0; iter < 30; ++iter) {
+        sampler.sweep();
+        if (iter % 5 == 4) {
+            // Preempt: save, let another application clobber the
+            // unit state, then restore.
+            const auto ctx = device.saveContext();
+            unit.initialize(7, 99.0);
+            for (int w = 0; w < unit.intensityMap().words(); ++w)
+                unit.intensityMap().writeWord(w, 0x5555555555555555);
+            device.restoreContext(ctx);
+            // The decode table is per-application configuration
+            // restored by the runtime alongside the map table.
+            unit.setLabelCodes(mrf.labelCodes());
+        }
+    }
+    EXPECT_GT(labelAccuracy(mrf.labels(), scene.truth), 0.85);
+}
+
+TEST(EndToEnd, WideUnitsAgreeWithNarrowOnes)
+{
+    rsu::rng::Xoshiro256 rng(77);
+    const auto scene = makeSegmentationScene(32, 24, 5, 2.5, rng);
+    SegmentationModel model(scene.image, scene.region_means);
+    const auto config = segmentationConfig(scene.image, 5, 6.0, 6);
+
+    std::vector<double> energies;
+    for (int width : {1, 4, 8}) {
+        GridMrf mrf(config, model);
+        mrf.initializeMaximumLikelihood();
+        auto ucfg = RsuGibbsSampler::unitConfigFor(mrf);
+        ucfg.width = width;
+        ucfg.circuits_per_lane = 4;
+        RsuG unit(ucfg, 100 + width);
+        RsuGibbsSampler sampler(mrf, unit);
+        sampler.run(30);
+        energies.push_back(
+            static_cast<double>(mrf.totalEnergy()));
+        EXPECT_EQ(unit.stats().stall_cycles, 0u)
+            << "width " << width;
+    }
+    // Same statistics regardless of unit width.
+    EXPECT_NEAR(energies[1] / energies[0], 1.0, 0.08);
+    EXPECT_NEAR(energies[2] / energies[0], 1.0, 0.08);
+}
+
+TEST(EndToEnd, SegmentationSurvivesSpadNoise)
+{
+    // Robustness: realistic SPAD efficiency and dark counts leave
+    // MAP quality essentially unchanged (rates scale uniformly;
+    // dark counts add a small uniform component).
+    rsu::rng::Xoshiro256 rng(2016);
+    const auto scene = makeSegmentationScene(40, 32, 4, 2.5, rng);
+    SegmentationModel model(scene.image, scene.region_means);
+    const auto config = segmentationConfig(scene.image, 4, 6.0, 6);
+
+    GridMrf mrf(config, model);
+    mrf.initializeMaximumLikelihood();
+    auto ucfg = RsuGibbsSampler::unitConfigFor(mrf);
+    ucfg.circuit.spad.efficiency = 0.5;
+    ucfg.circuit.spad.dark_rate_per_ns = 1e-4;
+    RsuG unit(ucfg, 12);
+    RsuGibbsSampler sampler(mrf, unit);
+    MarginalMapEstimator est(mrf, 10);
+    est.run(50, [&] { sampler.sweep(); });
+
+    EXPECT_GT(labelAccuracy(est.estimate(), scene.truth), 0.88);
+}
+
+} // namespace

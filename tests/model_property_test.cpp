@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Property tests for the architecture models: monotonicity and
+ * consistency invariants that must hold for any parameterization,
+ * plus cross-checks between the analytic models and the functional
+ * simulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/accel_sim.h"
+#include "arch/accelerator_model.h"
+#include "arch/cpu_model.h"
+#include "arch/gpu_model.h"
+#include "arch/power_area.h"
+#include "core/rsu_g.h"
+#include "vision/segmentation.h"
+#include "vision/synthetic.h"
+
+namespace {
+
+using namespace rsu::arch;
+
+class GpuMonotonicity
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    Workload
+    workload() const
+    {
+        const auto [app, size] = GetParam();
+        const int w = size == 0 ? kSmallWidth : kHdWidth;
+        const int h = size == 0 ? kSmallHeight : kHdHeight;
+        return app == 0 ? segmentationWorkload(w, h)
+                        : motionWorkload(w, h);
+    }
+};
+
+TEST_P(GpuMonotonicity, VariantOrderingHolds)
+{
+    const GpuModel model;
+    const Workload w = workload();
+    // Baseline >= Optimized >= RSU-G1 >= RSU-G4 in time.
+    EXPECT_GE(model.totalSeconds(w, GpuVariant::Baseline),
+              model.totalSeconds(w, GpuVariant::Optimized));
+    EXPECT_GE(model.totalSeconds(w, GpuVariant::Optimized),
+              model.totalSeconds(w, GpuVariant::RsuG1));
+    EXPECT_GE(model.totalSeconds(w, GpuVariant::RsuG1),
+              model.totalSeconds(w, GpuVariant::RsuG4) - 1e-12);
+}
+
+TEST_P(GpuMonotonicity, MoreLanesNeverSlower)
+{
+    const Workload w = workload();
+    GpuConfig narrow;
+    narrow.lanes = 1536;
+    GpuConfig wide;
+    wide.lanes = 6144;
+    for (auto v : {GpuVariant::Baseline, GpuVariant::RsuG1}) {
+        EXPECT_GE(GpuModel(narrow).totalSeconds(w, v),
+                  GpuModel(wide).totalSeconds(w, v));
+    }
+}
+
+TEST_P(GpuMonotonicity, MoreBandwidthNeverSlower)
+{
+    const Workload w = workload();
+    GpuConfig slim;
+    slim.mem_bw_gbs = 84.0;
+    GpuConfig fat;
+    fat.mem_bw_gbs = 672.0;
+    for (auto v : {GpuVariant::Baseline, GpuVariant::RsuG4}) {
+        EXPECT_GE(GpuModel(slim).totalSeconds(w, v),
+                  GpuModel(fat).totalSeconds(w, v));
+    }
+}
+
+TEST_P(GpuMonotonicity, AcceleratorNeverLosesToTheGpu)
+{
+    // The bandwidth bound is an upper bound on *any* RSU system
+    // fed by the same DRAM, so it must beat the RSU-augmented GPU
+    // whenever the GPU is not itself memory-bound.
+    const Workload w = workload();
+    const GpuModel gpu;
+    const AcceleratorModel accel;
+    EXPECT_LE(accel.totalSeconds(w),
+              gpu.totalSeconds(w, GpuVariant::RsuG1) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, GpuMonotonicity,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(0, 1)));
+
+TEST(GpuModelNames, AllVariantsNamed)
+{
+    EXPECT_EQ(variantName(GpuVariant::Baseline), "GPU");
+    EXPECT_EQ(variantName(GpuVariant::Optimized), "Opt GPU");
+    EXPECT_EQ(variantName(GpuVariant::RsuG1), "RSU-G1");
+    EXPECT_EQ(variantName(GpuVariant::RsuG4), "RSU-G4");
+}
+
+TEST(CpuModelProperties, SpeedupGrowsWithLabelCount)
+{
+    const CpuModel cpu;
+    const auto seg = segmentationWorkload(64, 64);   // M = 5
+    const auto motion = motionWorkload(64, 64);      // M = 49
+    EXPECT_GT(cpu.speedup(motion), cpu.speedup(seg));
+}
+
+TEST(AcceleratorSimProperties,
+     CriticalPathMatchesUnitIntervalModel)
+{
+    // For a farm where every unit gets the same site count, the
+    // per-iteration critical path should equal
+    // sites_per_unit * steadyStateIntervalCycles of one unit.
+    rsu::rng::Xoshiro256 rng(3);
+    const auto scene =
+        rsu::vision::makeSegmentationScene(32, 32, 4, 2.5, rng);
+    rsu::vision::SegmentationModel model(scene.image,
+                                         scene.region_means);
+    const auto config =
+        rsu::vision::segmentationConfig(scene.image, 4, 6.0, 6);
+    rsu::mrf::GridMrf mrf(config, model);
+    mrf.initializeMaximumLikelihood();
+
+    AcceleratorSimConfig sim_config;
+    sim_config.num_units = 16; // 1024 sites / 16 = 64 each
+    AcceleratorSim sim(mrf, sim_config);
+    const auto stats = sim.sweep();
+
+    rsu::core::RsuGConfig ucfg;
+    ucfg.energy = config.energy;
+    rsu::core::RsuG reference(ucfg);
+    reference.initialize(4, config.temperature);
+    const double expected =
+        (1024.0 / 16.0) * reference.steadyStateIntervalCycles();
+    EXPECT_NEAR(static_cast<double>(stats.critical_cycles),
+                expected, expected * 0.05);
+}
+
+TEST(AcceleratorSimProperties, RejectsBadConfigs)
+{
+    rsu::rng::Xoshiro256 rng(5);
+    const auto scene =
+        rsu::vision::makeSegmentationScene(8, 8, 2, 2.0, rng);
+    rsu::vision::SegmentationModel model(
+        scene.image,
+        {scene.region_means[0], scene.region_means[1]});
+    const auto config =
+        rsu::vision::segmentationConfig(scene.image, 2);
+    rsu::mrf::GridMrf mrf(config, model);
+
+    AcceleratorSimConfig bad;
+    bad.num_units = 0;
+    EXPECT_THROW(AcceleratorSim(mrf, bad), std::invalid_argument);
+    bad = AcceleratorSimConfig{};
+    bad.mem_bw_gbs = 0.0;
+    EXPECT_THROW(AcceleratorSim(mrf, bad), std::invalid_argument);
+}
+
+TEST(EnergyDatapath, PottsPriorIsTheCapOneSpecialCase)
+{
+    // Potts model: doubleton = w * [a != b]. With the truncated
+    // quadratic at cap = 1, min((a-b)^2, 1) is exactly the
+    // indicator — the categorical prior segmentation arguably
+    // wants, expressible on the existing datapath.
+    rsu::core::EnergyConfig config;
+    config.doubleton_cap = 1;
+    config.doubleton_weight = 7;
+    const rsu::core::EnergyUnit unit(config);
+    for (int a = 0; a < 8; ++a) {
+        for (int b = 0; b < 8; ++b) {
+            const int expected = a == b ? 0 : 7;
+            EXPECT_EQ(unit.doubleton(static_cast<uint8_t>(a),
+                                     static_cast<uint8_t>(b)),
+                      expected);
+        }
+    }
+}
+
+TEST(TechnologyProperties, PowerAndAreaShrinkMonotonically)
+{
+    double prev_power = 1e9, prev_area = 1e9;
+    for (int node : {45, 32, 22, 15}) {
+        const auto b = RsuPowerAreaModel::project(node, 1000.0);
+        EXPECT_LT(b.totalPowerMw(), prev_power);
+        EXPECT_LT(b.totalAreaUm2(), prev_area);
+        prev_power = b.totalPowerMw();
+        prev_area = b.totalAreaUm2();
+        // Optics never scale.
+        EXPECT_DOUBLE_EQ(b.ret_mw, 0.16);
+        EXPECT_DOUBLE_EQ(b.ret_um2, 1600.0);
+    }
+}
+
+} // namespace

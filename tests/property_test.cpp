@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps over design and input
+ * spaces, checking invariants rather than point values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "core/rsu_g.h"
+#include "core/rsu_isa.h"
+#include "mrf/exact.h"
+#include "mrf/grid_mrf.h"
+#include "ret/qdled.h"
+#include "ret/ttf_timer.h"
+#include "rng/discrete.h"
+#include "rng/stats.h"
+
+namespace {
+
+using namespace rsu::core;
+
+// --------------------------------------------------------------
+// Latency formula across the (M, K) design grid.
+// --------------------------------------------------------------
+
+class LatencyGrid
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(LatencyGrid, MatchesPipelineModel)
+{
+    const auto [m, k] = GetParam();
+    RsuGConfig config;
+    config.width = k;
+    RsuG unit(config);
+    unit.setNumLabels(m);
+
+    const int groups = (m + k - 1) / k;
+    int tree = 0;
+    if (k > 1) {
+        int v = 1;
+        while (v < k) {
+            v <<= 1;
+            ++tree;
+        }
+        --tree;
+    }
+    EXPECT_EQ(unit.latencyCycles(), 6 + groups + tree);
+
+    // Invariants: latency never increases with width, and K = 1
+    // reproduces the paper's 7 + (M - 1).
+    if (k == 1) {
+        EXPECT_EQ(unit.latencyCycles(), 7 + (m - 1));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, LatencyGrid,
+    ::testing::Combine(::testing::Values(1, 2, 5, 16, 49, 64),
+                       ::testing::Values(1, 2, 4, 8, 16, 32, 64)));
+
+// --------------------------------------------------------------
+// Replication vs stalls: issue interval = groups * max(1, Q/R).
+// --------------------------------------------------------------
+
+class ReplicationSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ReplicationSweep, MeasuredIntervalMatchesModel)
+{
+    const int replicas = GetParam();
+    RsuGConfig config;
+    config.circuits_per_lane = replicas;
+    RsuG unit(config, 7);
+    unit.initialize(8, 16.0);
+
+    EnergyInputs in;
+    in.neighbors = {1, 2, 1, 2};
+    in.data1 = 20;
+    in.data2 = 24;
+
+    constexpr int kSamples = 4000;
+    for (int i = 0; i < kSamples; ++i)
+        unit.sample(in);
+
+    const auto &s = unit.stats();
+    const double measured =
+        static_cast<double>(s.issue_cycles + s.stall_cycles) /
+        static_cast<double>(s.samples);
+    EXPECT_NEAR(measured, unit.steadyStateIntervalCycles(),
+                unit.steadyStateIntervalCycles() * 0.02 + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, ReplicationSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+// --------------------------------------------------------------
+// Race distribution: normalization and softmax tracking across
+// temperatures, with min-referenced energies.
+// --------------------------------------------------------------
+
+class TemperatureSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TemperatureSweep, RaceIsNormalizedAndTracksSoftmax)
+{
+    const double t = GetParam();
+    RsuG unit(RsuGConfig{}, 3);
+    unit.initialize(5, t);
+    rsu::rng::Xoshiro256 rng(17);
+
+    double worst_tv = 0.0;
+    for (int trial = 0; trial < 40; ++trial) {
+        EnergyInputs in;
+        for (auto &n : in.neighbors)
+            n = static_cast<Label>(rng.below(5));
+        in.data1 = static_cast<uint8_t>(rng.below(64));
+        uint8_t data2[5];
+        for (auto &d : data2)
+            d = static_cast<uint8_t>(rng.below(64));
+
+        Energy lo = 255;
+        for (int i = 0; i < 5; ++i) {
+            lo = std::min(lo,
+                          unit.labelEnergy(static_cast<Label>(i),
+                                           in, data2[i]));
+        }
+        in.energy_offset = lo;
+
+        const auto race = unit.raceDistribution(in, data2);
+        const double total =
+            std::accumulate(race.begin(), race.end(), 0.0);
+        ASSERT_NEAR(total, 1.0, 1e-9);
+
+        std::vector<double> soft(5);
+        double z = 0.0;
+        for (int i = 0; i < 5; ++i) {
+            soft[i] = std::exp(
+                -static_cast<double>(unit.labelEnergy(
+                    static_cast<Label>(i), in, data2[i])) /
+                t);
+            z += soft[i];
+        }
+        double tv = 0.0;
+        for (int i = 0; i < 5; ++i)
+            tv += std::abs(race[i] - soft[i] / z);
+        worst_tv = std::max(worst_tv, 0.5 * tv);
+    }
+    // Across the application temperature range the device error
+    // stays bounded; it grows with T (ladder compression).
+    EXPECT_LT(worst_tv, t <= 8.0 ? 0.10 : 0.16);
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, TemperatureSweep,
+                         ::testing::Values(2.0, 4.0, 6.0, 8.0, 16.0));
+
+// --------------------------------------------------------------
+// Discrete samplers agree on arbitrary weight vectors.
+// --------------------------------------------------------------
+
+class WeightVectors : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WeightVectors, CdfAndAliasMatchTheNormalizedWeights)
+{
+    rsu::rng::Xoshiro256 rng(GetParam());
+    const int n = 2 + static_cast<int>(rng.below(14));
+    std::vector<double> weights(n);
+    double total = 0.0;
+    for (auto &w : weights) {
+        w = rng.uniform() < 0.2 ? 0.0 : rng.uniform() * 10.0;
+        total += w;
+    }
+    if (total == 0.0)
+        weights[0] = total = 1.0;
+
+    const rsu::rng::CdfSampler cdf(weights);
+    const rsu::rng::AliasSampler alias(weights);
+    for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(cdf.probability(i), weights[i] / total, 1e-12);
+        EXPECT_NEAR(alias.probability(i), weights[i] / total,
+                    1e-12);
+    }
+
+    // Empirical agreement between the two samplers.
+    std::vector<uint64_t> c1(n, 0), c2(n, 0);
+    for (int i = 0; i < 20000; ++i) {
+        ++c1[cdf.sample(rng)];
+        ++c2[alias.sample(rng)];
+    }
+    for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(c1[i] / 20000.0, c2[i] / 20000.0, 0.02)
+            << "bucket " << i;
+        if (weights[i] == 0.0) {
+            EXPECT_EQ(c1[i], 0u);
+            EXPECT_EQ(c2[i], 0u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, WeightVectors,
+                         ::testing::Range(1, 13));
+
+// --------------------------------------------------------------
+// ISA packing fuzz: neighbors and singleton streams round-trip.
+// --------------------------------------------------------------
+
+class PackFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PackFuzz, NeighborsRoundTrip)
+{
+    rsu::rng::Xoshiro256 rng(1000 + GetParam());
+    std::array<Label, 4> labels;
+    std::array<bool, 4> valid;
+    for (int i = 0; i < 4; ++i) {
+        labels[i] = static_cast<Label>(rng.below(64));
+        valid[i] = rng.below(2) == 0;
+    }
+    const uint64_t word = packNeighbors(labels, valid);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ((word >> (6 * i)) & 0x3f, labels[i]);
+        EXPECT_EQ(((word >> (24 + i)) & 1) == 0, valid[i]);
+    }
+    // Upper bits stay clear for future use.
+    EXPECT_EQ(word >> 28, 0u);
+}
+
+TEST_P(PackFuzz, SingletonStreamRoundTripsThroughTheDevice)
+{
+    rsu::rng::Xoshiro256 rng(2000 + GetParam());
+    const int m = 2 + static_cast<int>(rng.below(31));
+    std::vector<uint8_t> values(m);
+    for (auto &v : values)
+        v = static_cast<uint8_t>(rng.below(64));
+
+    RsuG unit(RsuGConfig{}, 1);
+    unit.initialize(m, 16.0);
+    RsuDevice dev(unit);
+    for (int base = 0; base < m; base += 8) {
+        const int count = std::min(8, m - base);
+        dev.write(RsuReg::SingletonD,
+                  packSingletonD(&values[base], count));
+    }
+    // The race oracle sees exactly the streamed values: compare a
+    // device read distribution against the oracle built from the
+    // same values.
+    EnergyInputs in;
+    in.neighbors = {0, 0, 0, 0};
+    in.data1 = static_cast<uint8_t>(rng.below(64));
+    const auto oracle = unit.raceDistribution(in, values.data());
+    const double total =
+        std::accumulate(oracle.begin(), oracle.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, PackFuzz, ::testing::Range(0, 10));
+
+// --------------------------------------------------------------
+// LED ladder properties across design ranges.
+// --------------------------------------------------------------
+
+class LedDesigns : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LedDesigns, LadderIsMonotoneAndCoversTheRange)
+{
+    const double dr = GetParam();
+    const rsu::ret::QdLedBank bank(
+        rsu::ret::QdLedBank::designWeights(dr));
+    EXPECT_NEAR(bank.maxIntensity() / bank.minIntensity(),
+                1.0 + dr + std::pow(dr, 2.0 / 3.0) +
+                    std::pow(dr, 1.0 / 3.0),
+                1e-6);
+    // nearestCode is idempotent on achievable intensities.
+    for (int code = 1; code < rsu::ret::kNumLedCodes; ++code) {
+        const double i = bank.intensity(code);
+        EXPECT_NEAR(bank.intensity(bank.nearestCode(i)), i, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, LedDesigns,
+                         ::testing::Values(2.0, 8.0, 27.0, 64.0,
+                                           255.0));
+
+// --------------------------------------------------------------
+// Timer tick law across clock rates.
+// --------------------------------------------------------------
+
+class ClockSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ClockSweep, TickDistributionSumsToOneAndIsGeometric)
+{
+    const rsu::ret::TtfTimer timer(GetParam());
+    for (double rate : {0.01, 0.2, 1.0, 4.0}) {
+        double total = 0.0;
+        for (int q = 0; q <= rsu::ret::kTtfSaturated; ++q) {
+            const double p = timer.tickProbability(
+                rate, static_cast<uint8_t>(q));
+            EXPECT_GE(p, 0.0);
+            total += p;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+        const double p0 = timer.tickProbability(rate, 0);
+        const double p1 = timer.tickProbability(rate, 1);
+        if (p0 > 0.0) {
+            EXPECT_NEAR(p1 / p0,
+                        std::exp(-rate * timer.tickNs()), 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, ClockSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 5.0));
+
+// --------------------------------------------------------------
+// Gibbs invariance: the energy offset never changes the software
+// conditional (softmax invariance), for random models.
+// --------------------------------------------------------------
+
+class OffsetInvariance : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OffsetInvariance, SoftmaxIsOffsetInvariantUntilTheFloor)
+{
+    rsu::rng::Xoshiro256 rng(300 + GetParam());
+    const EnergyUnit unit;
+    EnergyInputs in;
+    for (auto &n : in.neighbors)
+        n = static_cast<Label>(rng.below(8));
+    in.data1 = static_cast<uint8_t>(rng.below(64));
+    in.data2 = static_cast<uint8_t>(rng.below(64));
+
+    // Find the minimum candidate energy over 6 candidates.
+    Energy lo = 255;
+    for (int l = 0; l < 6; ++l) {
+        lo = std::min(lo,
+                      unit.evaluate(static_cast<Label>(l), in));
+    }
+    // Any offset <= lo shifts all energies equally (no clamping),
+    // so softmax ratios are unchanged.
+    EnergyInputs shifted = in;
+    shifted.energy_offset = lo;
+    for (int l = 0; l < 6; ++l) {
+        const Energy raw = unit.evaluate(static_cast<Label>(l), in);
+        const Energy ref =
+            unit.evaluate(static_cast<Label>(l), shifted);
+        EXPECT_EQ(static_cast<int>(raw) - lo, ref);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, OffsetInvariance,
+                         ::testing::Range(0, 8));
+
+} // namespace

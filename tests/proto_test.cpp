@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the macro-scale RSU-G2 prototype emulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mrf/grid_mrf.h"
+#include "proto/prototype.h"
+#include "vision/metrics.h"
+#include "vision/segmentation.h"
+#include "vision/synthetic.h"
+
+namespace {
+
+using namespace rsu::proto;
+
+PrototypeConfig
+noiselessConfig()
+{
+    PrototypeConfig config;
+    config.calib_sigma_low = 0.0;
+    config.calib_sigma_high = 0.0;
+    config.saturation = 0.0;
+    return config;
+}
+
+TEST(Prototype, RejectsBadParameters)
+{
+    PrototypeConfig bad;
+    bad.timer_resolution_ns = 0.0;
+    EXPECT_THROW(PrototypeRsuG2(bad, 1), std::invalid_argument);
+    PrototypeRsuG2 proto(noiselessConfig(), 1);
+    EXPECT_THROW(proto.configure(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(proto.measureRatio(0), std::invalid_argument);
+}
+
+TEST(Prototype, NoiselessChannelsAchieveCommandedRates)
+{
+    PrototypeRsuG2 proto(noiselessConfig(), 2);
+    proto.configure(8.0, 2.0);
+    EXPECT_NEAR(proto.achievedRate(0) / proto.achievedRate(1), 4.0,
+                1e-9);
+}
+
+TEST(Prototype, ShotsFollowTheCommandedRatio)
+{
+    PrototypeRsuG2 proto(noiselessConfig(), 3);
+    proto.configure(3.0, 1.0);
+    const double measured = proto.measureRatio(120000);
+    EXPECT_NEAR(measured, 3.0, 0.15);
+    EXPECT_GE(proto.shots(), 120000u);
+}
+
+TEST(Prototype, SaturationCompressesHighRatios)
+{
+    PrototypeConfig config = noiselessConfig();
+    config.saturation = 0.002;
+    PrototypeRsuG2 proto(config, 4);
+    proto.configure(200.0, 1.0);
+    const double r =
+        proto.achievedRate(0) / proto.achievedRate(1);
+    EXPECT_LT(r, 200.0);
+    EXPECT_GT(r, 100.0);
+}
+
+TEST(Prototype, RatioSweepErrorBandsMatchPaper)
+{
+    // Paper section 7: within 10 % below ratio 30, ~24 % above.
+    const PrototypeConfig config; // defaults carry the calibration
+    const std::vector<double> low = {1, 2, 5, 10, 20, 28};
+    const std::vector<double> high = {40, 80, 160, 255};
+
+    const auto low_res = ratioSweep(config, 42, low, 20000, 24);
+    double low_err = 0.0;
+    for (const auto &m : low_res)
+        low_err += m.rel_error;
+    low_err /= low_res.size();
+    EXPECT_LT(low_err, 0.12);
+    EXPECT_GT(low_err, 0.03); // the bench is NOT perfect
+
+    const auto high_res = ratioSweep(config, 43, high, 20000, 24);
+    double high_err = 0.0;
+    for (const auto &m : high_res)
+        high_err += m.rel_error;
+    high_err /= high_res.size();
+    EXPECT_GT(high_err, low_err);
+    EXPECT_LT(high_err, 0.35);
+    EXPECT_GT(high_err, 0.12);
+}
+
+TEST(Prototype, TimerRangeGovernsLostShots)
+{
+    // Shrinking the FPGA timer window forces re-fires on slow
+    // channels; the measured ratio must still come out right, at
+    // the cost of more shots.
+    PrototypeConfig tight = noiselessConfig();
+    tight.timer_range_ticks = 64; // 16 ns window at 250 ps
+    PrototypeRsuG2 proto(tight, 11);
+    proto.configure(2.0, 1.0);
+    const int trials = 40000;
+    const double measured = proto.measureRatio(trials);
+    EXPECT_NEAR(measured, 2.0, 0.12);
+    EXPECT_GT(proto.shots(),
+              static_cast<uint64_t>(trials) * 11 / 10);
+}
+
+TEST(Prototype, GibbsRequiresTwoLabels)
+{
+    rsu::rng::Xoshiro256 rng(5);
+    const auto scene =
+        rsu::vision::makeSegmentationScene(10, 8, 3, 2.0, rng);
+    rsu::vision::SegmentationModel model(
+        scene.image, {scene.region_means[0], scene.region_means[1],
+                      scene.region_means[2]});
+    auto config = rsu::vision::segmentationConfig(scene.image, 3);
+    rsu::mrf::GridMrf mrf(config, model);
+    PrototypeRsuG2 proto(noiselessConfig(), 6);
+    EXPECT_THROW(PrototypeGibbsSampler(mrf, proto),
+                 std::invalid_argument);
+}
+
+TEST(Prototype, SegmentsATwoRegionImage)
+{
+    rsu::rng::Xoshiro256 rng(7);
+    const auto scene =
+        rsu::vision::makeSegmentationScene(24, 20, 2, 2.5, rng);
+    rsu::vision::SegmentationModel model(
+        scene.image,
+        {scene.region_means[0], scene.region_means[1]});
+    auto config =
+        rsu::vision::segmentationConfig(scene.image, 2, 6.0, 6);
+    rsu::mrf::GridMrf mrf(config, model);
+
+    PrototypeRsuG2 proto(PrototypeConfig{}, 8);
+    PrototypeGibbsSampler sampler(mrf, proto);
+    sampler.run(10); // the paper's Figure 7 uses 10 iterations
+
+    const double acc =
+        rsu::vision::labelAccuracy(mrf.labels(), scene.truth);
+    EXPECT_GT(acc, 0.9);
+}
+
+TEST(Prototype, TimingAccountsBenchDelays)
+{
+    rsu::rng::Xoshiro256 rng(9);
+    const auto scene =
+        rsu::vision::makeSegmentationScene(10, 10, 2, 2.0, rng);
+    rsu::vision::SegmentationModel model(
+        scene.image,
+        {scene.region_means[0], scene.region_means[1]});
+    auto config = rsu::vision::segmentationConfig(scene.image, 2);
+    rsu::mrf::GridMrf mrf(config, model);
+
+    PrototypeRsuG2 proto(PrototypeConfig{}, 10);
+    PrototypeGibbsSampler sampler(mrf, proto);
+    sampler.run(3);
+
+    const PrototypeTiming t = sampler.timing();
+    // 3 iterations x 100 pixels x 2 us plus 3 x 60 s.
+    EXPECT_NEAR(t.sampling_s, 300 * 2e-6, 1e-9);
+    EXPECT_NEAR(t.interface_s, 180.0, 1e-9);
+    EXPECT_NEAR(t.totalS(), 180.0006, 1e-6);
+    EXPECT_EQ(sampler.iterations(), 3u);
+}
+
+} // namespace

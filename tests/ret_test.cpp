@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit tests for the RET device substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ret/qdled.h"
+#include "ret/ret_circuit.h"
+#include "ret/ret_network.h"
+#include "ret/spad.h"
+#include "ret/ttf_timer.h"
+#include "rng/stats.h"
+#include "rng/xoshiro256.h"
+
+namespace {
+
+using namespace rsu::ret;
+using rsu::rng::RunningMoments;
+using rsu::rng::Xoshiro256;
+
+TEST(QdLedBank, IntensityIsSumOfLitLeds)
+{
+    const QdLedBank bank({1.0, 2.0, 4.0, 8.0});
+    EXPECT_DOUBLE_EQ(bank.intensity(0b0000), 0.0);
+    EXPECT_DOUBLE_EQ(bank.intensity(0b0001), 1.0);
+    EXPECT_DOUBLE_EQ(bank.intensity(0b1010), 10.0);
+    EXPECT_DOUBLE_EQ(bank.intensity(0b1111), 15.0);
+    EXPECT_DOUBLE_EQ(bank.maxIntensity(), 15.0);
+    EXPECT_DOUBLE_EQ(bank.minIntensity(), 1.0);
+}
+
+TEST(QdLedBank, DesignWeightsCoverDynamicRange)
+{
+    const auto w = QdLedBank::designWeights(255.0);
+    const QdLedBank bank(w);
+    // Largest single LED alone must reach the dynamic range.
+    EXPECT_NEAR(w[3] / w[0], 255.0, 1e-9);
+    EXPECT_GE(bank.maxIntensity() / bank.minIntensity(), 255.0);
+}
+
+TEST(QdLedBank, NearestCodeIsLogOptimal)
+{
+    const QdLedBank bank; // default geometric ladder
+    for (double target = bank.minIntensity();
+         target <= bank.maxIntensity(); target *= 1.37) {
+        const uint8_t code = bank.nearestCode(target);
+        const double chosen_err =
+            std::abs(std::log(bank.intensity(code) / target));
+        for (int other = 1; other < kNumLedCodes; ++other) {
+            const double err = std::abs(
+                std::log(bank.intensity(other) / target));
+            EXPECT_LE(chosen_err, err + 1e-12);
+        }
+    }
+}
+
+TEST(QdLedBank, NearestCodeZeroTargetIsOff)
+{
+    const QdLedBank bank;
+    EXPECT_EQ(bank.nearestCode(0.0), 0);
+    EXPECT_EQ(bank.nearestCode(-1.0), 0);
+}
+
+TEST(QdLedBank, RejectsBadWeights)
+{
+    EXPECT_THROW(QdLedBank({1.0, 0.0, 1.0, 1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(QdLedBank::designWeights(0.5), std::invalid_argument);
+}
+
+TEST(TtfTimer, QuantizesAtTickBoundaries)
+{
+    const TtfTimer timer(1.0); // 0.125 ns ticks
+    EXPECT_DOUBLE_EQ(timer.tickNs(), 0.125);
+    EXPECT_EQ(timer.quantize(0.0), 0);
+    EXPECT_EQ(timer.quantize(0.1249), 0);
+    EXPECT_EQ(timer.quantize(0.125), 1);
+    EXPECT_EQ(timer.quantize(0.3), 2);
+}
+
+TEST(TtfTimer, SaturatesLateAndInvalidArrivals)
+{
+    const TtfTimer timer(1.0);
+    EXPECT_EQ(timer.quantize(255 * 0.125), kTtfSaturated);
+    EXPECT_EQ(timer.quantize(1e9), kTtfSaturated);
+    EXPECT_EQ(timer.quantize(-1.0), kTtfSaturated);
+    EXPECT_EQ(timer.quantize(
+                  std::numeric_limits<double>::infinity()),
+              kTtfSaturated);
+}
+
+TEST(TtfTimer, TickProbabilitiesFormADistribution)
+{
+    const TtfTimer timer(1.0);
+    for (double rate : {0.01, 0.5, 3.0}) {
+        double total = 0.0;
+        for (int q = 0; q <= kTtfSaturated; ++q) {
+            total += timer.tickProbability(
+                rate, static_cast<uint8_t>(q));
+        }
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+}
+
+TEST(TtfTimer, TickDistributionIsGeometric)
+{
+    const TtfTimer timer(1.0);
+    const double rate = 0.8;
+    const double p0 = timer.tickProbability(rate, 0);
+    const double p1 = timer.tickProbability(rate, 1);
+    const double p2 = timer.tickProbability(rate, 2);
+    EXPECT_NEAR(p1 / p0, p2 / p1, 1e-12);
+    EXPECT_NEAR(p1 / p0, std::exp(-rate * timer.tickNs()), 1e-12);
+}
+
+TEST(TtfTimer, ZeroRateMassesOnSaturation)
+{
+    const TtfTimer timer(1.0);
+    EXPECT_DOUBLE_EQ(timer.tickProbability(0.0, kTtfSaturated), 1.0);
+    EXPECT_DOUBLE_EQ(timer.tickProbability(0.0, 7), 0.0);
+}
+
+TEST(ExponentialNetwork, TtfMeanMatchesRate)
+{
+    Xoshiro256 rng(7);
+    ExponentialNetwork net(0.5);
+    RunningMoments m;
+    for (int i = 0; i < 100000; ++i)
+        m.add(net.sampleTtf(rng, 2.0)); // rate = 1.0
+    EXPECT_NEAR(m.mean(), 1.0, 0.02);
+}
+
+TEST(ExponentialNetwork, ZeroIntensityNeverFires)
+{
+    Xoshiro256 rng(7);
+    ExponentialNetwork net(1.0);
+    EXPECT_TRUE(std::isinf(net.sampleTtf(rng, 0.0)));
+}
+
+TEST(ExponentialNetwork, WearReducesEffectiveRate)
+{
+    Xoshiro256 rng(7);
+    WearModel wear;
+    wear.bleach_per_cycle = 1e-3;
+    ExponentialNetwork net(1.0, wear);
+    const double fresh = net.effectiveRate();
+    for (int i = 0; i < 1000; ++i)
+        net.sampleTtf(rng, 1.0);
+    EXPECT_LT(net.effectiveRate(), fresh);
+    EXPECT_NEAR(net.survivingFraction(),
+                std::pow(1.0 - 1e-3, 1000), 1e-6);
+    EXPECT_EQ(net.cycles(), 1000u);
+    net.refresh();
+    EXPECT_DOUBLE_EQ(net.effectiveRate(), fresh);
+}
+
+TEST(ExponentialNetwork, EncapsulationSlowsWear)
+{
+    Xoshiro256 rng(7);
+    WearModel wear;
+    wear.bleach_per_cycle = 1e-3;
+    wear.encapsulation_factor = 0.1;
+    ExponentialNetwork net(1.0, wear);
+    for (int i = 0; i < 1000; ++i)
+        net.sampleTtf(rng, 1.0);
+    EXPECT_NEAR(net.survivingFraction(),
+                std::pow(1.0 - 1e-4, 1000), 1e-6);
+}
+
+TEST(PhaseTypeNetwork, ErlangMeanAndShape)
+{
+    Xoshiro256 rng(11);
+    const auto net = PhaseTypeNetwork::makeErlang(3, 2.0);
+    EXPECT_NEAR(net.meanTtf(), 1.5, 1e-9);
+    RunningMoments m;
+    for (int i = 0; i < 100000; ++i)
+        m.add(net.sampleTtf(rng));
+    EXPECT_NEAR(m.mean(), 1.5, 0.02);
+    // Erlang-3 variance = k / rate^2 = 0.75.
+    EXPECT_NEAR(m.variance(), 0.75, 0.03);
+}
+
+TEST(PhaseTypeNetwork, BernoulliPathProbability)
+{
+    Xoshiro256 rng(13);
+    const auto net = PhaseTypeNetwork::makeBernoulli(3.0, 1.0);
+    int bright = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        if (std::isfinite(net.sampleTtf(rng)))
+            ++bright;
+    }
+    EXPECT_NEAR(bright / double(kDraws), 0.75, 0.01);
+}
+
+TEST(PhaseTypeNetwork, IntensityGatesTheFirstHop)
+{
+    Xoshiro256 rng(17);
+    const auto net = PhaseTypeNetwork::makeErlang(1, 1.0);
+    RunningMoments m;
+    for (int i = 0; i < 50000; ++i)
+        m.add(net.sampleTtf(rng, 4.0));
+    EXPECT_NEAR(m.mean(), 0.25, 0.01);
+}
+
+TEST(PhaseTypeNetwork, RejectsMalformedRates)
+{
+    EXPECT_THROW(PhaseTypeNetwork({}, 0), std::invalid_argument);
+    EXPECT_THROW(PhaseTypeNetwork({{0.0}}, 0), std::invalid_argument);
+    EXPECT_THROW(PhaseTypeNetwork({{0.0, -1.0}}, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(PhaseTypeNetwork({{0.0, 1.0}}, 5),
+                 std::invalid_argument);
+}
+
+TEST(Spad, PerfectDetectorPassesRateThrough)
+{
+    const Spad spad;
+    EXPECT_DOUBLE_EQ(spad.effectiveRate(2.5), 2.5);
+    EXPECT_DOUBLE_EQ(spad.effectiveRate(0.0), 0.0);
+}
+
+TEST(Spad, EfficiencyThinsTheRate)
+{
+    const Spad spad({.efficiency = 0.4});
+    EXPECT_DOUBLE_EQ(spad.effectiveRate(10.0), 4.0);
+}
+
+TEST(Spad, DarkCountsRaceAgainstSignal)
+{
+    Xoshiro256 rng(19);
+    const Spad spad({.efficiency = 1.0, .dark_rate_per_ns = 0.5});
+    EXPECT_DOUBLE_EQ(spad.effectiveRate(1.5), 2.0);
+    // Even a dead channel produces (dark) detections.
+    EXPECT_TRUE(std::isfinite(spad.detect(rng, 0.0)));
+}
+
+TEST(Spad, RejectsBadModel)
+{
+    EXPECT_THROW(Spad({.efficiency = 0.0}), std::invalid_argument);
+    EXPECT_THROW(Spad({.efficiency = 1.5}), std::invalid_argument);
+    EXPECT_THROW(Spad({.dark_rate_per_ns = -1.0}),
+                 std::invalid_argument);
+}
+
+TEST(RetCircuit, DetectionRateFollowsLedCode)
+{
+    RetCircuit circ;
+    EXPECT_DOUBLE_EQ(circ.detectionRate(0), 0.0);
+    EXPECT_GT(circ.detectionRate(0b1111), circ.detectionRate(0b0001));
+    // Default tuning: all-on code gives a 1/ns detection rate.
+    EXPECT_NEAR(circ.detectionRate(0b1111), 1.0, 1e-9);
+}
+
+TEST(RetCircuit, CodeZeroSaturates)
+{
+    Xoshiro256 rng(23);
+    RetCircuit circ;
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(circ.sample(rng, 0), kTtfSaturated);
+}
+
+TEST(RetCircuit, QuiescenceWindowIsHonoured)
+{
+    Xoshiro256 rng(29);
+    RetCircuitConfig config;
+    config.quiescence_cycles = 4;
+    RetCircuit circ(config);
+    EXPECT_TRUE(circ.readyAt(0));
+    circ.sampleAt(rng, 0b1111, 10);
+    EXPECT_EQ(circ.busyUntil(), 14u);
+    EXPECT_FALSE(circ.readyAt(13));
+    EXPECT_TRUE(circ.readyAt(14));
+}
+
+TEST(RetCircuit, QuantizedTtfMatchesAnalyticDistribution)
+{
+    Xoshiro256 rng(31);
+    RetCircuit circ;
+    const uint8_t code = 0b0110;
+    const double rate = circ.detectionRate(code);
+    // Histogram the low ticks and chi-square against the analytic
+    // geometric tick law; the tail is pooled into one bin.
+    constexpr int kBins = 24;
+    std::vector<uint64_t> counts(kBins + 1, 0);
+    constexpr int kDraws = 120000;
+    for (int i = 0; i < kDraws; ++i) {
+        const uint8_t q = circ.sample(rng, code);
+        counts[std::min<int>(q, kBins)] += 1;
+    }
+    std::vector<double> expected(kBins + 1, 0.0);
+    double tail = 1.0;
+    for (int q = 0; q < kBins; ++q) {
+        expected[q] = circ.timer().tickProbability(
+            rate, static_cast<uint8_t>(q));
+        tail -= expected[q];
+    }
+    expected[kBins] = tail;
+    const double stat =
+        rsu::rng::chiSquareStatistic(counts, expected);
+    EXPECT_LT(stat, rsu::rng::chiSquareCritical(kBins, 0.001));
+}
+
+TEST(RetCircuit, SpadNoiseShiftsDetectionRate)
+{
+    RetCircuitConfig config;
+    config.spad.efficiency = 0.5;
+    config.spad.dark_rate_per_ns = 0.01;
+    RetCircuit circ(config);
+    RetCircuit ideal;
+    const uint8_t code = 0b1111;
+    EXPECT_NEAR(circ.detectionRate(code),
+                0.5 * ideal.detectionRate(code) + 0.01, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Unit tests for the rng substrate: generators, continuous and
+ * discrete samplers, statistical helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "rng/discrete.h"
+#include "rng/distributions.h"
+#include "rng/splitmix64.h"
+#include "rng/stats.h"
+#include "rng/xoshiro256.h"
+
+namespace {
+
+using namespace rsu::rng;
+
+TEST(SplitMix64, IsDeterministic)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, IsDeterministic)
+{
+    Xoshiro256 a(7), b(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, UniformIsInHalfOpenUnitInterval)
+{
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Xoshiro256, UniformPositiveNeverZero)
+{
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniformPositive();
+        EXPECT_GT(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(Xoshiro256, UniformMeanAndVariance)
+{
+    Xoshiro256 rng(11);
+    RunningMoments m;
+    for (int i = 0; i < 200000; ++i)
+        m.add(rng.uniform());
+    EXPECT_NEAR(m.mean(), 0.5, 0.005);
+    EXPECT_NEAR(m.variance(), 1.0 / 12.0, 0.003);
+}
+
+TEST(Xoshiro256, BelowCoversRangeWithoutBias)
+{
+    Xoshiro256 rng(13);
+    constexpr int kBound = 7;
+    std::vector<uint64_t> counts(kBound, 0);
+    constexpr int kDraws = 140000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[rng.below(kBound)];
+    const std::vector<double> expected(kBound, 1.0 / kBound);
+    const double stat = chiSquareStatistic(counts, expected);
+    EXPECT_LT(stat, chiSquareCritical(kBound - 1, 0.001));
+}
+
+TEST(Xoshiro256, JumpYieldsDisjointStreams)
+{
+    Xoshiro256 a(99);
+    Xoshiro256 b(99);
+    b.jump();
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 4096; ++i)
+        seen.insert(a());
+    for (int i = 0; i < 4096; ++i)
+        EXPECT_FALSE(seen.count(b()));
+}
+
+TEST(Distributions, ExponentialMeanMatchesRate)
+{
+    Xoshiro256 rng(5);
+    for (double rate : {0.25, 1.0, 8.0}) {
+        RunningMoments m;
+        for (int i = 0; i < 100000; ++i)
+            m.add(sampleExponential(rng, rate));
+        EXPECT_NEAR(m.mean(), 1.0 / rate, 0.02 / rate);
+    }
+}
+
+TEST(Distributions, ExponentialPassesKs)
+{
+    Xoshiro256 rng(17);
+    const double rate = 2.0;
+    std::vector<double> samples(20000);
+    for (auto &s : samples)
+        s = sampleExponential(rng, rate);
+    const double d = ksStatisticExponential(samples, rate);
+    EXPECT_LT(d, ksCritical01(samples.size()));
+}
+
+TEST(Distributions, NormalMoments)
+{
+    Xoshiro256 rng(23);
+    RunningMoments m;
+    for (int i = 0; i < 200000; ++i)
+        m.add(sampleNormal(rng, 3.0, 2.0));
+    EXPECT_NEAR(m.mean(), 3.0, 0.02);
+    EXPECT_NEAR(m.stddev(), 2.0, 0.02);
+}
+
+TEST(Distributions, NormalTailsAreSymmetric)
+{
+    Xoshiro256 rng(29);
+    int above = 0, below = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        const double x = sampleNormal(rng, 0.0, 1.0);
+        if (x > 1.0)
+            ++above;
+        if (x < -1.0)
+            ++below;
+    }
+    // P(|X| > 1) ~ 0.3173 split evenly.
+    EXPECT_NEAR(above / double(kDraws), 0.1587, 0.005);
+    EXPECT_NEAR(below / double(kDraws), 0.1587, 0.005);
+}
+
+TEST(Distributions, GammaMomentsShapeAboveOne)
+{
+    Xoshiro256 rng(31);
+    const double shape = 3.0, scale = 2.0;
+    RunningMoments m;
+    for (int i = 0; i < 200000; ++i)
+        m.add(sampleGamma(rng, shape, scale));
+    EXPECT_NEAR(m.mean(), shape * scale, 0.05);
+    EXPECT_NEAR(m.variance(), shape * scale * scale, 0.3);
+}
+
+TEST(Distributions, GammaMomentsShapeBelowOne)
+{
+    Xoshiro256 rng(37);
+    const double shape = 0.5, scale = 1.0;
+    RunningMoments m;
+    for (int i = 0; i < 200000; ++i)
+        m.add(sampleGamma(rng, shape, scale));
+    EXPECT_NEAR(m.mean(), shape * scale, 0.01);
+    EXPECT_NEAR(m.variance(), shape * scale * scale, 0.05);
+}
+
+TEST(Distributions, RaceWinnerProportionalToRates)
+{
+    Xoshiro256 rng(41);
+    const double rates[3] = {1.0, 2.0, 5.0};
+    std::vector<uint64_t> wins(3, 0);
+    constexpr int kDraws = 160000;
+    for (int i = 0; i < kDraws; ++i) {
+        int w = -1;
+        sampleExponentialRace(rng, rates, 3, &w);
+        ++wins[w];
+    }
+    const std::vector<double> expected = {1.0 / 8, 2.0 / 8, 5.0 / 8};
+    const double stat = chiSquareStatistic(wins, expected);
+    EXPECT_LT(stat, chiSquareCritical(2, 0.001));
+}
+
+TEST(Distributions, RaceSkipsZeroRateClocks)
+{
+    Xoshiro256 rng(43);
+    const double rates[3] = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 100; ++i) {
+        int w = -1;
+        sampleExponentialRace(rng, rates, 3, &w);
+        EXPECT_EQ(w, 1);
+    }
+}
+
+TEST(DiscreteLinear, MatchesWeights)
+{
+    Xoshiro256 rng(47);
+    const double weights[4] = {1.0, 0.0, 3.0, 6.0};
+    std::vector<uint64_t> counts(4, 0);
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[sampleDiscreteLinear(rng, weights, 4)];
+    EXPECT_EQ(counts[1], 0u);
+    const std::vector<double> expected = {0.1, 0.0, 0.3, 0.6};
+    const double stat = chiSquareStatistic(counts, expected);
+    EXPECT_LT(stat, chiSquareCritical(2, 0.001));
+}
+
+TEST(CdfSampler, ProbabilityAccessorsMatchInput)
+{
+    const CdfSampler s({2.0, 3.0, 5.0});
+    EXPECT_DOUBLE_EQ(s.probability(0), 0.2);
+    EXPECT_DOUBLE_EQ(s.probability(1), 0.3);
+    EXPECT_DOUBLE_EQ(s.probability(2), 0.5);
+    EXPECT_EQ(s.size(), 3);
+}
+
+TEST(CdfSampler, SamplesMatchDistribution)
+{
+    Xoshiro256 rng(53);
+    const CdfSampler s({1.0, 1.0, 2.0, 4.0});
+    std::vector<uint64_t> counts(4, 0);
+    constexpr int kDraws = 120000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[s.sample(rng)];
+    const std::vector<double> expected = {0.125, 0.125, 0.25, 0.5};
+    const double stat = chiSquareStatistic(counts, expected);
+    EXPECT_LT(stat, chiSquareCritical(3, 0.001));
+}
+
+TEST(CdfSampler, RejectsBadWeights)
+{
+    EXPECT_THROW(CdfSampler({}), std::invalid_argument);
+    EXPECT_THROW(CdfSampler({1.0, -1.0}), std::invalid_argument);
+    EXPECT_THROW(CdfSampler({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(AliasSampler, ProbabilityAccessorsMatchInput)
+{
+    const AliasSampler s({2.0, 3.0, 5.0});
+    EXPECT_NEAR(s.probability(0), 0.2, 1e-12);
+    EXPECT_NEAR(s.probability(1), 0.3, 1e-12);
+    EXPECT_NEAR(s.probability(2), 0.5, 1e-12);
+}
+
+TEST(AliasSampler, SamplesMatchDistribution)
+{
+    Xoshiro256 rng(59);
+    const AliasSampler s({0.5, 0.0, 2.5, 7.0});
+    std::vector<uint64_t> counts(4, 0);
+    constexpr int kDraws = 120000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[s.sample(rng)];
+    EXPECT_EQ(counts[1], 0u);
+    const std::vector<double> expected = {0.05, 0.0, 0.25, 0.7};
+    const double stat = chiSquareStatistic(counts, expected);
+    EXPECT_LT(stat, chiSquareCritical(2, 0.001));
+}
+
+TEST(AliasSampler, RejectsBadWeights)
+{
+    EXPECT_THROW(AliasSampler({}), std::invalid_argument);
+    EXPECT_THROW(AliasSampler({-0.5, 1.0}), std::invalid_argument);
+}
+
+TEST(RunningMoments, HandChecked)
+{
+    RunningMoments m;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        m.add(x);
+    EXPECT_EQ(m.count(), 8u);
+    EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+    EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(ChiSquare, StatisticHandChecked)
+{
+    // Observed 60/40 against fair coin: (10^2/50)*2 = 4.
+    const double stat = chiSquareStatistic({60, 40}, {0.5, 0.5});
+    EXPECT_NEAR(stat, 4.0, 1e-12);
+}
+
+TEST(ChiSquare, CriticalValuesApproximateTables)
+{
+    // Table values: chi2(0.01, 5) = 15.09, chi2(0.01, 50) = 76.15.
+    EXPECT_NEAR(chiSquareCritical(5, 0.01), 15.09, 0.5);
+    EXPECT_NEAR(chiSquareCritical(50, 0.01), 76.15, 1.0);
+    EXPECT_THROW(chiSquareCritical(5, 0.5), std::invalid_argument);
+}
+
+TEST(ChiSquare, RejectsMismatchedInput)
+{
+    EXPECT_THROW(chiSquareStatistic({1, 2}, {1.0}),
+                 std::invalid_argument);
+}
+
+TEST(Ks, DetectsWrongRate)
+{
+    Xoshiro256 rng(61);
+    std::vector<double> samples(20000);
+    for (auto &s : samples)
+        s = sampleExponential(rng, 1.0);
+    // Testing against double the true rate must fail decisively.
+    const double d = ksStatisticExponential(samples, 2.0);
+    EXPECT_GT(d, ksCritical01(samples.size()) * 5.0);
+}
+
+} // namespace

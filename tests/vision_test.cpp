@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit tests for the vision layer: images, synthetic scenes,
+ * application models, metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "vision/denoise.h"
+#include "vision/image.h"
+#include "vision/metrics.h"
+#include "vision/motion.h"
+#include "vision/segmentation.h"
+#include "vision/stereo.h"
+#include "vision/synthetic.h"
+
+namespace {
+
+using namespace rsu::vision;
+using rsu::core::Label;
+using rsu::core::packVectorLabel;
+using rsu::rng::Xoshiro256;
+
+TEST(Image, ConstructionAndAccess)
+{
+    Image img(4, 3, 63, 7);
+    EXPECT_EQ(img.width(), 4);
+    EXPECT_EQ(img.height(), 3);
+    EXPECT_EQ(img.size(), 12);
+    EXPECT_EQ(img.at(2, 1), 7);
+    img.set(2, 1, 30);
+    EXPECT_EQ(img.at(2, 1), 30);
+    EXPECT_THROW(Image(0, 3), std::invalid_argument);
+}
+
+TEST(Image, ClampedAccessExtendsEdges)
+{
+    Image img(2, 2, 63);
+    img.set(0, 0, 1);
+    img.set(1, 0, 2);
+    img.set(0, 1, 3);
+    img.set(1, 1, 4);
+    EXPECT_EQ(img.atClamped(-5, -5), 1);
+    EXPECT_EQ(img.atClamped(9, 0), 2);
+    EXPECT_EQ(img.atClamped(0, 9), 3);
+    EXPECT_EQ(img.atClamped(9, 9), 4);
+}
+
+TEST(Image, RequantizeRescalesRange)
+{
+    Image img(2, 1, 255);
+    img.set(0, 0, 0);
+    img.set(1, 0, 255);
+    const Image q = img.requantized(63);
+    EXPECT_EQ(q.maxval(), 63);
+    EXPECT_EQ(q.at(0, 0), 0);
+    EXPECT_EQ(q.at(1, 0), 63);
+}
+
+TEST(Image, PgmRoundTrip)
+{
+    Xoshiro256 rng(1);
+    Image img = makeValueNoise(17, 9, 3, 63, rng);
+    const std::string path = "/tmp/rsu_test_roundtrip.pgm";
+    img.writePgm(path);
+    const Image back = Image::readPgm(path);
+    EXPECT_EQ(back.width(), img.width());
+    EXPECT_EQ(back.height(), img.height());
+    EXPECT_EQ(back.maxval(), img.maxval());
+    EXPECT_EQ(back.pixels(), img.pixels());
+    std::remove(path.c_str());
+}
+
+TEST(Image, ReadsAsciiPgmWithComments)
+{
+    const std::string path = "/tmp/rsu_test_ascii.pgm";
+    {
+        std::ofstream out(path);
+        out << "P2\n# a comment line\n3 2\n63\n"
+            << "0 10 20\n30 40 63\n";
+    }
+    const Image img = Image::readPgm(path);
+    EXPECT_EQ(img.width(), 3);
+    EXPECT_EQ(img.height(), 2);
+    EXPECT_EQ(img.at(1, 0), 10);
+    EXPECT_EQ(img.at(2, 1), 63);
+    std::remove(path.c_str());
+}
+
+TEST(Image, ReadRejectsGarbage)
+{
+    const std::string path = "/tmp/rsu_test_bad.pgm";
+    {
+        std::ofstream out(path);
+        out << "P6\n2 2\n255\nxxxx";
+    }
+    EXPECT_THROW(Image::readPgm(path), std::runtime_error);
+    std::remove(path.c_str());
+    EXPECT_THROW(Image::readPgm("/nonexistent/nope.pgm"),
+                 std::runtime_error);
+}
+
+TEST(Synthetic, ValueNoiseStaysInRange)
+{
+    Xoshiro256 rng(2);
+    const Image img = makeValueNoise(64, 48, 4, 63, rng);
+    int min = 255, max = 0;
+    for (uint8_t p : img.pixels()) {
+        min = std::min<int>(min, p);
+        max = std::max<int>(max, p);
+    }
+    EXPECT_GE(min, 0);
+    EXPECT_LE(max, 63);
+    EXPECT_GT(max - min, 10); // actually textured
+}
+
+TEST(Synthetic, SegmentationSceneIsConsistent)
+{
+    Xoshiro256 rng(3);
+    const auto scene = makeSegmentationScene(40, 30, 5, 2.0, rng);
+    EXPECT_EQ(scene.image.size(), 1200);
+    EXPECT_EQ(scene.truth.size(), 1200u);
+    EXPECT_EQ(scene.region_means.size(), 5u);
+    // Noise-free pixels should be near their region mean.
+    int close = 0;
+    for (int i = 0; i < 1200; ++i) {
+        const int mean = scene.region_means[scene.truth[i]];
+        if (std::abs(static_cast<int>(scene.image.pixels()[i]) -
+                     mean) <= 6)
+            ++close;
+    }
+    EXPECT_GT(close, 1100); // 3-sigma of 2.0 = 6
+}
+
+TEST(Synthetic, MotionSceneWarpMatchesTruth)
+{
+    Xoshiro256 rng(4);
+    const auto scene = makeMotionScene(48, 40, 2, 3, 0.0, rng);
+    ASSERT_EQ(scene.radius, 3);
+    // For moving pixels whose target stays in bounds and is not
+    // overwritten by another mover, frame2(p + d) == frame1(p).
+    int checked = 0, matched = 0;
+    for (int y = 0; y < 40; ++y) {
+        for (int x = 0; x < 48; ++x) {
+            const Label t = scene.truth[y * 48 + x];
+            const int dx = rsu::core::labelX1(t) - 3;
+            const int dy = rsu::core::labelX2(t) - 3;
+            if (dx == 0 && dy == 0)
+                continue;
+            const int tx = x + dx, ty = y + dy;
+            if (tx < 0 || tx >= 48 || ty < 0 || ty >= 40)
+                continue;
+            ++checked;
+            if (scene.frame2.at(tx, ty) == scene.frame1.at(x, y))
+                ++matched;
+        }
+    }
+    ASSERT_GT(checked, 50);
+    EXPECT_GT(matched, checked * 9 / 10);
+}
+
+TEST(Synthetic, StereoSceneShiftMatchesTruth)
+{
+    Xoshiro256 rng(5);
+    const auto scene = makeStereoScene(40, 30, 4, 0.0, rng);
+    int checked = 0, matched = 0;
+    for (int y = 0; y < 30; ++y) {
+        for (int x = 0; x < 40; ++x) {
+            const int d = scene.truth[y * 40 + x];
+            if (x + d >= 40)
+                continue;
+            ++checked;
+            if (scene.right.at(x, y) == scene.left.at(x + d, y))
+                ++matched;
+        }
+    }
+    EXPECT_EQ(checked, matched);
+}
+
+TEST(SegmentationModel, DataInputsAreMeansAndPixels)
+{
+    Image img(4, 4, 63, 20);
+    img.set(1, 2, 33);
+    SegmentationModel model(img, {5, 25, 45});
+    EXPECT_EQ(model.data1(1, 2), 33);
+    EXPECT_EQ(model.data1(0, 0), 20);
+    EXPECT_EQ(model.data2(0, 0, 1), 25);
+    EXPECT_EQ(model.data2(3, 3, 2), 45);
+    EXPECT_EQ(model.numLabels(), 3);
+    EXPECT_THROW(SegmentationModel(img, {}), std::invalid_argument);
+    EXPECT_THROW(SegmentationModel(img, {70}), std::invalid_argument);
+}
+
+TEST(SegmentationModel, EvenMeansAreSpreadAndSorted)
+{
+    const auto means = SegmentationModel::evenMeans(5);
+    ASSERT_EQ(means.size(), 5u);
+    for (size_t i = 1; i < means.size(); ++i)
+        EXPECT_GT(means[i], means[i - 1]);
+    EXPECT_LT(means[0], 13);
+    EXPECT_GT(means[4], 50);
+}
+
+TEST(SegmentationModel, KmeansFindsBimodalModes)
+{
+    Image img(20, 20, 63);
+    for (int i = 0; i < img.size(); ++i)
+        img.pixels()[i] = (i % 2) ? 10 : 50;
+    const auto means = SegmentationModel::kmeansMeans(img, 2);
+    ASSERT_EQ(means.size(), 2u);
+    EXPECT_NEAR(means[0], 10, 2);
+    EXPECT_NEAR(means[1], 50, 2);
+}
+
+TEST(MotionModel, Data2FollowsDisplacement)
+{
+    Xoshiro256 rng(6);
+    const Image f1 = makeValueNoise(16, 16, 3, 63, rng);
+    const Image f2 = makeValueNoise(16, 16, 3, 63, rng);
+    MotionModel model(f1, f2, 3);
+    EXPECT_EQ(model.numLabels(), 49);
+    EXPECT_EQ(model.data1(5, 5), f1.at(5, 5));
+    // Label (dx=+2, dy=-1) -> packed (5, 2).
+    const Label l = packVectorLabel(5, 2);
+    EXPECT_EQ(model.data2(5, 5, l), f2.at(7, 4));
+    // Clamping at the border.
+    EXPECT_EQ(model.data2(0, 0, packVectorLabel(0, 0)), f2.at(0, 0));
+}
+
+TEST(MotionModel, IndexLabelMapsRoundTrip)
+{
+    for (int radius : {1, 2, 3}) {
+        const int m = (2 * radius + 1) * (2 * radius + 1);
+        for (int i = 0; i < m; ++i) {
+            const Label l = MotionModel::indexToLabel(i, radius);
+            EXPECT_EQ(MotionModel::labelToIndex(l, radius), i);
+        }
+    }
+}
+
+TEST(MotionModel, ConfigUsesVectorCodes)
+{
+    Xoshiro256 rng(7);
+    const Image f1 = makeValueNoise(8, 8, 2, 63, rng);
+    const auto config = motionConfig(f1, 3);
+    EXPECT_EQ(config.num_labels, 49);
+    EXPECT_EQ(config.energy.mode, rsu::core::LabelMode::Vector);
+    ASSERT_EQ(config.label_codes.size(), 49u);
+    // Code of window index 0 is displacement (-3, -3) -> packed 0.
+    EXPECT_EQ(config.label_codes[0], packVectorLabel(0, 0));
+    // Centre index 24 is (0, 0) displacement -> packed (3, 3).
+    EXPECT_EQ(config.label_codes[24], packVectorLabel(3, 3));
+}
+
+TEST(StereoModel, Data2ShiftsLeftward)
+{
+    Xoshiro256 rng(8);
+    const Image left = makeValueNoise(16, 8, 2, 63, rng);
+    const Image right = makeValueNoise(16, 8, 2, 63, rng);
+    StereoModel model(left, right, 5);
+    EXPECT_EQ(model.data1(6, 3), left.at(6, 3));
+    EXPECT_EQ(model.data2(6, 3, 2), right.at(4, 3));
+    EXPECT_EQ(model.data2(1, 0, 4), right.at(0, 0)); // clamped
+    EXPECT_THROW(StereoModel(left, right, 1), std::invalid_argument);
+    EXPECT_THROW(StereoModel(left, right, 9), std::invalid_argument);
+}
+
+TEST(DenoiseModel, LevelsQuantizeTheRange)
+{
+    Image img(4, 4, 63, 30);
+    DenoiseModel model(img, 4);
+    EXPECT_EQ(model.numLabels(), 4);
+    EXPECT_LT(model.levelValue(0), model.levelValue(3));
+    EXPECT_EQ(model.data1(0, 0), 30);
+    EXPECT_EQ(model.data2(0, 0, 2), model.levelValue(2));
+
+    std::vector<Label> labels(16, 3);
+    const Image rec = model.reconstruct(labels);
+    EXPECT_EQ(rec.at(2, 2), model.levelValue(3));
+}
+
+TEST(Metrics, LabelAccuracyCounts)
+{
+    const std::vector<Label> a = {0, 1, 2, 3};
+    const std::vector<Label> b = {0, 1, 0, 3};
+    EXPECT_DOUBLE_EQ(labelAccuracy(a, b), 0.75);
+    EXPECT_THROW(labelAccuracy(a, {0}), std::invalid_argument);
+}
+
+TEST(Metrics, EndpointErrorHandChecked)
+{
+    const std::vector<Label> truth = {packVectorLabel(3, 3),
+                                      packVectorLabel(3, 3)};
+    const std::vector<Label> est = {packVectorLabel(3, 3),
+                                    packVectorLabel(6, 7)};
+    // Second site: error vector (3, 4) -> length 5; mean 2.5.
+    EXPECT_DOUBLE_EQ(meanEndpointError(est, truth), 2.5);
+}
+
+TEST(Metrics, PsnrBehaviour)
+{
+    Image a(4, 4, 63, 10);
+    Image b(4, 4, 63, 10);
+    EXPECT_TRUE(std::isinf(psnr(a, b)));
+    b.set(0, 0, 20);
+    const double noisy = psnr(a, b);
+    EXPECT_GT(noisy, 20.0);
+    EXPECT_TRUE(std::isfinite(noisy));
+    b.pixels().assign(16, 40);
+    EXPECT_LT(psnr(a, b), noisy);
+}
+
+} // namespace
