@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accel_bound.dir/bench_accel_bound.cpp.o"
+  "CMakeFiles/bench_accel_bound.dir/bench_accel_bound.cpp.o.d"
+  "bench_accel_bound"
+  "bench_accel_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accel_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accel_sim.dir/bench_accel_sim.cpp.o"
+  "CMakeFiles/bench_accel_sim.dir/bench_accel_sim.cpp.o.d"
+  "bench_accel_sim"
+  "bench_accel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_prototype_seg.dir/bench_fig7_prototype_seg.cpp.o"
+  "CMakeFiles/bench_fig7_prototype_seg.dir/bench_fig7_prototype_seg.cpp.o.d"
+  "bench_fig7_prototype_seg"
+  "bench_fig7_prototype_seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_prototype_seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proto_ratio.dir/bench_proto_ratio.cpp.o"
+  "CMakeFiles/bench_proto_ratio.dir/bench_proto_ratio.cpp.o.d"
+  "bench_proto_ratio"
+  "bench_proto_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proto_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rsu_pipeline.dir/bench_rsu_pipeline.cpp.o"
+  "CMakeFiles/bench_rsu_pipeline.dir/bench_rsu_pipeline.cpp.o.d"
+  "bench_rsu_pipeline"
+  "bench_rsu_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rsu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

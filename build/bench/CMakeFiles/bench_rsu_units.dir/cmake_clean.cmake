@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rsu_units.dir/bench_rsu_units.cpp.o"
+  "CMakeFiles/bench_rsu_units.dir/bench_rsu_units.cpp.o.d"
+  "bench_rsu_units"
+  "bench_rsu_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rsu_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_software_samplers.dir/bench_software_samplers.cpp.o"
+  "CMakeFiles/bench_software_samplers.dir/bench_software_samplers.cpp.o.d"
+  "bench_software_samplers"
+  "bench_software_samplers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_software_samplers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

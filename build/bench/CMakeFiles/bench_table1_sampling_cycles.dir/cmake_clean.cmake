@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sampling_cycles.dir/bench_table1_sampling_cycles.cpp.o"
+  "CMakeFiles/bench_table1_sampling_cycles.dir/bench_table1_sampling_cycles.cpp.o.d"
+  "bench_table1_sampling_cycles"
+  "bench_table1_sampling_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sampling_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_width_depth.dir/bench_width_depth.cpp.o"
+  "CMakeFiles/bench_width_depth.dir/bench_width_depth.cpp.o.d"
+  "bench_width_depth"
+  "bench_width_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_width_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

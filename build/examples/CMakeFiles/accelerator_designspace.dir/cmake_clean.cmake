@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_designspace.dir/accelerator_designspace.cpp.o"
+  "CMakeFiles/accelerator_designspace.dir/accelerator_designspace.cpp.o.d"
+  "accelerator_designspace"
+  "accelerator_designspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_designspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

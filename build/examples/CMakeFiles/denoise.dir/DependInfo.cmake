@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/denoise.cpp" "examples/CMakeFiles/denoise.dir/denoise.cpp.o" "gcc" "examples/CMakeFiles/denoise.dir/denoise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rng/CMakeFiles/rsu_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/ret/CMakeFiles/rsu_ret.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rsu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrf/CMakeFiles/rsu_mrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/rsu_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/rsu_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/rsu_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

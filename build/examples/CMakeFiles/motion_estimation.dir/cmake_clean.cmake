@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_estimation.dir/motion_estimation.cpp.o"
+  "CMakeFiles/motion_estimation.dir/motion_estimation.cpp.o.d"
+  "motion_estimation"
+  "motion_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

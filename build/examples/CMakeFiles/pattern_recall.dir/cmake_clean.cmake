@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_recall.dir/pattern_recall.cpp.o"
+  "CMakeFiles/pattern_recall.dir/pattern_recall.cpp.o.d"
+  "pattern_recall"
+  "pattern_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

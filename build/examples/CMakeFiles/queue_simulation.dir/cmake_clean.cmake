@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_simulation.dir/queue_simulation.cpp.o"
+  "CMakeFiles/queue_simulation.dir/queue_simulation.cpp.o.d"
+  "queue_simulation"
+  "queue_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

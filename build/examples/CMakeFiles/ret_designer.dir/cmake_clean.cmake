@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ret_designer.dir/ret_designer.cpp.o"
+  "CMakeFiles/ret_designer.dir/ret_designer.cpp.o.d"
+  "ret_designer"
+  "ret_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ret_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

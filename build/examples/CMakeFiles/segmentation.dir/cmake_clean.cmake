@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmentation.dir/segmentation.cpp.o"
+  "CMakeFiles/segmentation.dir/segmentation.cpp.o.d"
+  "segmentation"
+  "segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

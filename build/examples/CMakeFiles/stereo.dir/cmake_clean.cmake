@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stereo.dir/stereo.cpp.o"
+  "CMakeFiles/stereo.dir/stereo.cpp.o.d"
+  "stereo"
+  "stereo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stereo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

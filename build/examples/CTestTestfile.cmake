@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;27;rsu_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_segmentation "/root/repo/build/examples/segmentation")
+set_tests_properties(example_segmentation PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;28;rsu_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_motion_estimation "/root/repo/build/examples/motion_estimation" "48" "40" "20")
+set_tests_properties(example_motion_estimation PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;29;rsu_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stereo "/root/repo/build/examples/stereo" "48" "40" "20")
+set_tests_properties(example_stereo PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;30;rsu_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_denoise "/root/repo/build/examples/denoise" "5" "6" "20")
+set_tests_properties(example_denoise PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;31;rsu_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pattern_recall "/root/repo/build/examples/pattern_recall" "0.3" "0.05")
+set_tests_properties(example_pattern_recall PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;32;rsu_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_queue_simulation "/root/repo/build/examples/queue_simulation" "0.7" "100000")
+set_tests_properties(example_queue_simulation PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;33;rsu_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ret_designer "/root/repo/build/examples/ret_designer")
+set_tests_properties(example_ret_designer PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;34;rsu_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_accelerator_designspace "/root/repo/build/examples/accelerator_designspace")
+set_tests_properties(example_accelerator_designspace PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;35;rsu_example_smoke;/root/repo/examples/CMakeLists.txt;0;")

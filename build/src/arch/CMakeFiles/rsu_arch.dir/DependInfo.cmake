@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/accel_sim.cpp" "src/arch/CMakeFiles/rsu_arch.dir/accel_sim.cpp.o" "gcc" "src/arch/CMakeFiles/rsu_arch.dir/accel_sim.cpp.o.d"
+  "/root/repo/src/arch/accelerator_model.cpp" "src/arch/CMakeFiles/rsu_arch.dir/accelerator_model.cpp.o" "gcc" "src/arch/CMakeFiles/rsu_arch.dir/accelerator_model.cpp.o.d"
+  "/root/repo/src/arch/cpu_model.cpp" "src/arch/CMakeFiles/rsu_arch.dir/cpu_model.cpp.o" "gcc" "src/arch/CMakeFiles/rsu_arch.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/arch/gpu_model.cpp" "src/arch/CMakeFiles/rsu_arch.dir/gpu_model.cpp.o" "gcc" "src/arch/CMakeFiles/rsu_arch.dir/gpu_model.cpp.o.d"
+  "/root/repo/src/arch/power_area.cpp" "src/arch/CMakeFiles/rsu_arch.dir/power_area.cpp.o" "gcc" "src/arch/CMakeFiles/rsu_arch.dir/power_area.cpp.o.d"
+  "/root/repo/src/arch/technology.cpp" "src/arch/CMakeFiles/rsu_arch.dir/technology.cpp.o" "gcc" "src/arch/CMakeFiles/rsu_arch.dir/technology.cpp.o.d"
+  "/root/repo/src/arch/workload.cpp" "src/arch/CMakeFiles/rsu_arch.dir/workload.cpp.o" "gcc" "src/arch/CMakeFiles/rsu_arch.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrf/CMakeFiles/rsu_mrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ret/CMakeFiles/rsu_ret.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/rsu_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

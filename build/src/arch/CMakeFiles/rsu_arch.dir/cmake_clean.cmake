@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsu_arch.dir/accel_sim.cpp.o"
+  "CMakeFiles/rsu_arch.dir/accel_sim.cpp.o.d"
+  "CMakeFiles/rsu_arch.dir/accelerator_model.cpp.o"
+  "CMakeFiles/rsu_arch.dir/accelerator_model.cpp.o.d"
+  "CMakeFiles/rsu_arch.dir/cpu_model.cpp.o"
+  "CMakeFiles/rsu_arch.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/rsu_arch.dir/gpu_model.cpp.o"
+  "CMakeFiles/rsu_arch.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/rsu_arch.dir/power_area.cpp.o"
+  "CMakeFiles/rsu_arch.dir/power_area.cpp.o.d"
+  "CMakeFiles/rsu_arch.dir/technology.cpp.o"
+  "CMakeFiles/rsu_arch.dir/technology.cpp.o.d"
+  "CMakeFiles/rsu_arch.dir/workload.cpp.o"
+  "CMakeFiles/rsu_arch.dir/workload.cpp.o.d"
+  "librsu_arch.a"
+  "librsu_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsu_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy_unit.cpp" "src/core/CMakeFiles/rsu_core.dir/energy_unit.cpp.o" "gcc" "src/core/CMakeFiles/rsu_core.dir/energy_unit.cpp.o.d"
+  "/root/repo/src/core/intensity_map.cpp" "src/core/CMakeFiles/rsu_core.dir/intensity_map.cpp.o" "gcc" "src/core/CMakeFiles/rsu_core.dir/intensity_map.cpp.o.d"
+  "/root/repo/src/core/rsu_g.cpp" "src/core/CMakeFiles/rsu_core.dir/rsu_g.cpp.o" "gcc" "src/core/CMakeFiles/rsu_core.dir/rsu_g.cpp.o.d"
+  "/root/repo/src/core/rsu_isa.cpp" "src/core/CMakeFiles/rsu_core.dir/rsu_isa.cpp.o" "gcc" "src/core/CMakeFiles/rsu_core.dir/rsu_isa.cpp.o.d"
+  "/root/repo/src/core/rsu_units.cpp" "src/core/CMakeFiles/rsu_core.dir/rsu_units.cpp.o" "gcc" "src/core/CMakeFiles/rsu_core.dir/rsu_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ret/CMakeFiles/rsu_ret.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/rsu_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

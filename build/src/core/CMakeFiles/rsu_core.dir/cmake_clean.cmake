@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsu_core.dir/energy_unit.cpp.o"
+  "CMakeFiles/rsu_core.dir/energy_unit.cpp.o.d"
+  "CMakeFiles/rsu_core.dir/intensity_map.cpp.o"
+  "CMakeFiles/rsu_core.dir/intensity_map.cpp.o.d"
+  "CMakeFiles/rsu_core.dir/rsu_g.cpp.o"
+  "CMakeFiles/rsu_core.dir/rsu_g.cpp.o.d"
+  "CMakeFiles/rsu_core.dir/rsu_isa.cpp.o"
+  "CMakeFiles/rsu_core.dir/rsu_isa.cpp.o.d"
+  "CMakeFiles/rsu_core.dir/rsu_units.cpp.o"
+  "CMakeFiles/rsu_core.dir/rsu_units.cpp.o.d"
+  "librsu_core.a"
+  "librsu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrf/annealing.cpp" "src/mrf/CMakeFiles/rsu_mrf.dir/annealing.cpp.o" "gcc" "src/mrf/CMakeFiles/rsu_mrf.dir/annealing.cpp.o.d"
+  "/root/repo/src/mrf/belief_propagation.cpp" "src/mrf/CMakeFiles/rsu_mrf.dir/belief_propagation.cpp.o" "gcc" "src/mrf/CMakeFiles/rsu_mrf.dir/belief_propagation.cpp.o.d"
+  "/root/repo/src/mrf/diagnostics.cpp" "src/mrf/CMakeFiles/rsu_mrf.dir/diagnostics.cpp.o" "gcc" "src/mrf/CMakeFiles/rsu_mrf.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/mrf/estimator.cpp" "src/mrf/CMakeFiles/rsu_mrf.dir/estimator.cpp.o" "gcc" "src/mrf/CMakeFiles/rsu_mrf.dir/estimator.cpp.o.d"
+  "/root/repo/src/mrf/exact.cpp" "src/mrf/CMakeFiles/rsu_mrf.dir/exact.cpp.o" "gcc" "src/mrf/CMakeFiles/rsu_mrf.dir/exact.cpp.o.d"
+  "/root/repo/src/mrf/gibbs.cpp" "src/mrf/CMakeFiles/rsu_mrf.dir/gibbs.cpp.o" "gcc" "src/mrf/CMakeFiles/rsu_mrf.dir/gibbs.cpp.o.d"
+  "/root/repo/src/mrf/grid_mrf.cpp" "src/mrf/CMakeFiles/rsu_mrf.dir/grid_mrf.cpp.o" "gcc" "src/mrf/CMakeFiles/rsu_mrf.dir/grid_mrf.cpp.o.d"
+  "/root/repo/src/mrf/icm.cpp" "src/mrf/CMakeFiles/rsu_mrf.dir/icm.cpp.o" "gcc" "src/mrf/CMakeFiles/rsu_mrf.dir/icm.cpp.o.d"
+  "/root/repo/src/mrf/metropolis.cpp" "src/mrf/CMakeFiles/rsu_mrf.dir/metropolis.cpp.o" "gcc" "src/mrf/CMakeFiles/rsu_mrf.dir/metropolis.cpp.o.d"
+  "/root/repo/src/mrf/rsu_gibbs.cpp" "src/mrf/CMakeFiles/rsu_mrf.dir/rsu_gibbs.cpp.o" "gcc" "src/mrf/CMakeFiles/rsu_mrf.dir/rsu_gibbs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/rsu_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/ret/CMakeFiles/rsu_ret.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

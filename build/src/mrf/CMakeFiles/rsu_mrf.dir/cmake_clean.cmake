@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsu_mrf.dir/annealing.cpp.o"
+  "CMakeFiles/rsu_mrf.dir/annealing.cpp.o.d"
+  "CMakeFiles/rsu_mrf.dir/belief_propagation.cpp.o"
+  "CMakeFiles/rsu_mrf.dir/belief_propagation.cpp.o.d"
+  "CMakeFiles/rsu_mrf.dir/diagnostics.cpp.o"
+  "CMakeFiles/rsu_mrf.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/rsu_mrf.dir/estimator.cpp.o"
+  "CMakeFiles/rsu_mrf.dir/estimator.cpp.o.d"
+  "CMakeFiles/rsu_mrf.dir/exact.cpp.o"
+  "CMakeFiles/rsu_mrf.dir/exact.cpp.o.d"
+  "CMakeFiles/rsu_mrf.dir/gibbs.cpp.o"
+  "CMakeFiles/rsu_mrf.dir/gibbs.cpp.o.d"
+  "CMakeFiles/rsu_mrf.dir/grid_mrf.cpp.o"
+  "CMakeFiles/rsu_mrf.dir/grid_mrf.cpp.o.d"
+  "CMakeFiles/rsu_mrf.dir/icm.cpp.o"
+  "CMakeFiles/rsu_mrf.dir/icm.cpp.o.d"
+  "CMakeFiles/rsu_mrf.dir/metropolis.cpp.o"
+  "CMakeFiles/rsu_mrf.dir/metropolis.cpp.o.d"
+  "CMakeFiles/rsu_mrf.dir/rsu_gibbs.cpp.o"
+  "CMakeFiles/rsu_mrf.dir/rsu_gibbs.cpp.o.d"
+  "librsu_mrf.a"
+  "librsu_mrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsu_mrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librsu_mrf.a"
+)

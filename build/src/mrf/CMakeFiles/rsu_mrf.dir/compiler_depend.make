@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rsu_mrf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsu_proto.dir/prototype.cpp.o"
+  "CMakeFiles/rsu_proto.dir/prototype.cpp.o.d"
+  "librsu_proto.a"
+  "librsu_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsu_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

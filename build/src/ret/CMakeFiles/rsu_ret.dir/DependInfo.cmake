@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ret/forster.cpp" "src/ret/CMakeFiles/rsu_ret.dir/forster.cpp.o" "gcc" "src/ret/CMakeFiles/rsu_ret.dir/forster.cpp.o.d"
+  "/root/repo/src/ret/qdled.cpp" "src/ret/CMakeFiles/rsu_ret.dir/qdled.cpp.o" "gcc" "src/ret/CMakeFiles/rsu_ret.dir/qdled.cpp.o.d"
+  "/root/repo/src/ret/ret_circuit.cpp" "src/ret/CMakeFiles/rsu_ret.dir/ret_circuit.cpp.o" "gcc" "src/ret/CMakeFiles/rsu_ret.dir/ret_circuit.cpp.o.d"
+  "/root/repo/src/ret/ret_network.cpp" "src/ret/CMakeFiles/rsu_ret.dir/ret_network.cpp.o" "gcc" "src/ret/CMakeFiles/rsu_ret.dir/ret_network.cpp.o.d"
+  "/root/repo/src/ret/spad.cpp" "src/ret/CMakeFiles/rsu_ret.dir/spad.cpp.o" "gcc" "src/ret/CMakeFiles/rsu_ret.dir/spad.cpp.o.d"
+  "/root/repo/src/ret/ttf_timer.cpp" "src/ret/CMakeFiles/rsu_ret.dir/ttf_timer.cpp.o" "gcc" "src/ret/CMakeFiles/rsu_ret.dir/ttf_timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rng/CMakeFiles/rsu_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

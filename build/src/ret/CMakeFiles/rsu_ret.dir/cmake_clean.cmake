@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsu_ret.dir/forster.cpp.o"
+  "CMakeFiles/rsu_ret.dir/forster.cpp.o.d"
+  "CMakeFiles/rsu_ret.dir/qdled.cpp.o"
+  "CMakeFiles/rsu_ret.dir/qdled.cpp.o.d"
+  "CMakeFiles/rsu_ret.dir/ret_circuit.cpp.o"
+  "CMakeFiles/rsu_ret.dir/ret_circuit.cpp.o.d"
+  "CMakeFiles/rsu_ret.dir/ret_network.cpp.o"
+  "CMakeFiles/rsu_ret.dir/ret_network.cpp.o.d"
+  "CMakeFiles/rsu_ret.dir/spad.cpp.o"
+  "CMakeFiles/rsu_ret.dir/spad.cpp.o.d"
+  "CMakeFiles/rsu_ret.dir/ttf_timer.cpp.o"
+  "CMakeFiles/rsu_ret.dir/ttf_timer.cpp.o.d"
+  "librsu_ret.a"
+  "librsu_ret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsu_ret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/discrete.cpp" "src/rng/CMakeFiles/rsu_rng.dir/discrete.cpp.o" "gcc" "src/rng/CMakeFiles/rsu_rng.dir/discrete.cpp.o.d"
+  "/root/repo/src/rng/distributions.cpp" "src/rng/CMakeFiles/rsu_rng.dir/distributions.cpp.o" "gcc" "src/rng/CMakeFiles/rsu_rng.dir/distributions.cpp.o.d"
+  "/root/repo/src/rng/stats.cpp" "src/rng/CMakeFiles/rsu_rng.dir/stats.cpp.o" "gcc" "src/rng/CMakeFiles/rsu_rng.dir/stats.cpp.o.d"
+  "/root/repo/src/rng/xoshiro256.cpp" "src/rng/CMakeFiles/rsu_rng.dir/xoshiro256.cpp.o" "gcc" "src/rng/CMakeFiles/rsu_rng.dir/xoshiro256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsu_rng.dir/discrete.cpp.o"
+  "CMakeFiles/rsu_rng.dir/discrete.cpp.o.d"
+  "CMakeFiles/rsu_rng.dir/distributions.cpp.o"
+  "CMakeFiles/rsu_rng.dir/distributions.cpp.o.d"
+  "CMakeFiles/rsu_rng.dir/stats.cpp.o"
+  "CMakeFiles/rsu_rng.dir/stats.cpp.o.d"
+  "CMakeFiles/rsu_rng.dir/xoshiro256.cpp.o"
+  "CMakeFiles/rsu_rng.dir/xoshiro256.cpp.o.d"
+  "librsu_rng.a"
+  "librsu_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsu_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/denoise.cpp" "src/vision/CMakeFiles/rsu_vision.dir/denoise.cpp.o" "gcc" "src/vision/CMakeFiles/rsu_vision.dir/denoise.cpp.o.d"
+  "/root/repo/src/vision/image.cpp" "src/vision/CMakeFiles/rsu_vision.dir/image.cpp.o" "gcc" "src/vision/CMakeFiles/rsu_vision.dir/image.cpp.o.d"
+  "/root/repo/src/vision/metrics.cpp" "src/vision/CMakeFiles/rsu_vision.dir/metrics.cpp.o" "gcc" "src/vision/CMakeFiles/rsu_vision.dir/metrics.cpp.o.d"
+  "/root/repo/src/vision/motion.cpp" "src/vision/CMakeFiles/rsu_vision.dir/motion.cpp.o" "gcc" "src/vision/CMakeFiles/rsu_vision.dir/motion.cpp.o.d"
+  "/root/repo/src/vision/recall.cpp" "src/vision/CMakeFiles/rsu_vision.dir/recall.cpp.o" "gcc" "src/vision/CMakeFiles/rsu_vision.dir/recall.cpp.o.d"
+  "/root/repo/src/vision/segmentation.cpp" "src/vision/CMakeFiles/rsu_vision.dir/segmentation.cpp.o" "gcc" "src/vision/CMakeFiles/rsu_vision.dir/segmentation.cpp.o.d"
+  "/root/repo/src/vision/stereo.cpp" "src/vision/CMakeFiles/rsu_vision.dir/stereo.cpp.o" "gcc" "src/vision/CMakeFiles/rsu_vision.dir/stereo.cpp.o.d"
+  "/root/repo/src/vision/synthetic.cpp" "src/vision/CMakeFiles/rsu_vision.dir/synthetic.cpp.o" "gcc" "src/vision/CMakeFiles/rsu_vision.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mrf/CMakeFiles/rsu_mrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rsu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/rsu_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/ret/CMakeFiles/rsu_ret.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsu_vision.dir/denoise.cpp.o"
+  "CMakeFiles/rsu_vision.dir/denoise.cpp.o.d"
+  "CMakeFiles/rsu_vision.dir/image.cpp.o"
+  "CMakeFiles/rsu_vision.dir/image.cpp.o.d"
+  "CMakeFiles/rsu_vision.dir/metrics.cpp.o"
+  "CMakeFiles/rsu_vision.dir/metrics.cpp.o.d"
+  "CMakeFiles/rsu_vision.dir/motion.cpp.o"
+  "CMakeFiles/rsu_vision.dir/motion.cpp.o.d"
+  "CMakeFiles/rsu_vision.dir/recall.cpp.o"
+  "CMakeFiles/rsu_vision.dir/recall.cpp.o.d"
+  "CMakeFiles/rsu_vision.dir/segmentation.cpp.o"
+  "CMakeFiles/rsu_vision.dir/segmentation.cpp.o.d"
+  "CMakeFiles/rsu_vision.dir/stereo.cpp.o"
+  "CMakeFiles/rsu_vision.dir/stereo.cpp.o.d"
+  "CMakeFiles/rsu_vision.dir/synthetic.cpp.o"
+  "CMakeFiles/rsu_vision.dir/synthetic.cpp.o.d"
+  "librsu_vision.a"
+  "librsu_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsu_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

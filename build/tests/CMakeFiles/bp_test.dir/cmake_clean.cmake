@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_test.dir/bp_test.cpp.o"
+  "CMakeFiles/bp_test.dir/bp_test.cpp.o.d"
+  "bp_test"
+  "bp_test.pdb"
+  "bp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

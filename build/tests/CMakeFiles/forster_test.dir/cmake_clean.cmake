@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forster_test.dir/forster_test.cpp.o"
+  "CMakeFiles/forster_test.dir/forster_test.cpp.o.d"
+  "forster_test"
+  "forster_test.pdb"
+  "forster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

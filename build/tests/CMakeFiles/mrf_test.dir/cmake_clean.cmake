@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrf_test.dir/mrf_test.cpp.o"
+  "CMakeFiles/mrf_test.dir/mrf_test.cpp.o.d"
+  "mrf_test"
+  "mrf_test.pdb"
+  "mrf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

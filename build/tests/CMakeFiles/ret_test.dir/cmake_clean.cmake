@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ret_test.dir/ret_test.cpp.o"
+  "CMakeFiles/ret_test.dir/ret_test.cpp.o.d"
+  "ret_test"
+  "ret_test.pdb"
+  "ret_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ret_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsu_solve.dir/rsu_solve.cpp.o"
+  "CMakeFiles/rsu_solve.dir/rsu_solve.cpp.o.d"
+  "rsu_solve"
+  "rsu_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsu_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_rsu_solve_seg "/root/repo/build/tools/rsu_solve" "--app" "seg" "--sampler" "rsu" "--iterations" "15")
+set_tests_properties(tool_rsu_solve_seg PROPERTIES  PASS_REGULAR_EXPRESSION "wrote rsu_solve_out.pgm" WORKING_DIRECTORY "/root/repo/build/tools/smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rsu_solve_anneal "/root/repo/build/tools/rsu_solve" "--app" "denoise" "--sampler" "anneal" "--labels" "6" "--iterations" "20")
+set_tests_properties(tool_rsu_solve_anneal PROPERTIES  PASS_REGULAR_EXPRESSION "annealed best energy" WORKING_DIRECTORY "/root/repo/build/tools/smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rsu_solve_usage "/root/repo/build/tools/rsu_solve" "--bogus")
+set_tests_properties(tool_rsu_solve_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
