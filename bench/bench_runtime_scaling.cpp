@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Chromatic runtime thread-scaling benchmark.
+ *
+ * Measures software-Gibbs sweeps/sec of the ParallelSweepExecutor
+ * path as a function of worker-thread count on square segmentation
+ * lattices — the software realization of the paper's Figure 4
+ * parallelism argument, and the curve later sharding/serving PRs
+ * must not regress. Results go to stdout as a table and to
+ * BENCH_runtime_scaling.json as
+ *   {"benchmark": "runtime_scaling", "labels": M,
+ *    "hardware_threads": H,
+ *    "results": [{"size": N, "threads": T, "sweeps": S,
+ *                 "sweeps_per_sec": R, "speedup": X}, ...]}
+ * where speedup is relative to the 1-thread row of the same size.
+ *
+ * Usage:
+ *   bench_runtime_scaling [sizes-csv] [threads-csv] [labels]
+ * Defaults: sizes 128,512,1024; threads 1,2,4,8; labels 8.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mrf/grid_mrf.h"
+#include "rng/xoshiro256.h"
+#include "runtime/chromatic_sampler.h"
+#include "runtime/parallel_sweep.h"
+#include "runtime/thread_pool.h"
+#include "vision/segmentation.h"
+#include "vision/synthetic.h"
+
+namespace {
+
+std::vector<int>
+parseCsv(const char *arg)
+{
+    std::vector<int> values;
+    std::string token;
+    for (const char *c = arg;; ++c) {
+        if (*c == ',' || *c == '\0') {
+            if (!token.empty())
+                values.push_back(std::atoi(token.c_str()));
+            token.clear();
+            if (*c == '\0')
+                break;
+        } else {
+            token += *c;
+        }
+    }
+    return values;
+}
+
+struct Row
+{
+    int size;
+    int threads;
+    int sweeps;
+    double sweeps_per_sec;
+    double speedup;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rsu;
+
+    std::vector<int> sizes = {128, 512, 1024};
+    std::vector<int> threads = {1, 2, 4, 8};
+    int labels = 8;
+    if (argc > 1)
+        sizes = parseCsv(argv[1]);
+    if (argc > 2)
+        threads = parseCsv(argv[2]);
+    if (argc > 3)
+        labels = std::atoi(argv[3]);
+
+    const auto all_positive = [](const std::vector<int> &values) {
+        if (values.empty())
+            return false;
+        for (const int v : values)
+            if (v < 1)
+                return false;
+        return true;
+    };
+    if (!all_positive(sizes) || !all_positive(threads) ||
+        labels < 2) {
+        std::fprintf(stderr,
+                     "usage: %s [sizes-csv] [threads-csv] [labels]\n"
+                     "sizes/threads must be positive integers, "
+                     "labels >= 2\n",
+                     argv[0]);
+        return 2;
+    }
+
+    const int hardware = runtime::ThreadPool::hardwareThreads();
+    std::printf("chromatic runtime scaling — software Gibbs, %d "
+                "labels, %d hardware thread(s)\n\n",
+                labels, hardware);
+    std::printf("%8s %8s %7s %14s %8s\n", "size", "threads",
+                "sweeps", "sweeps/sec", "speedup");
+
+    std::vector<Row> rows;
+    for (const int size : sizes) {
+        rng::Xoshiro256 scene_rng(2016);
+        const auto scene = vision::makeSegmentationScene(
+            size, size, labels, 3.0, scene_rng);
+        vision::SegmentationModel model(scene.image,
+                                        scene.region_means);
+        const auto config =
+            vision::segmentationConfig(scene.image, labels);
+
+        // Enough sweeps that a measurement is tens of milliseconds
+        // even at the largest size, without making 1024^2 painful.
+        const int sweeps =
+            std::max(2, 4'000'000 / (size * size) + 1);
+
+        double base_rate = 0.0;
+        for (const int t : threads) {
+            mrf::GridMrf mrf(config, model);
+            mrf.initializeMaximumLikelihood();
+            runtime::ThreadPool pool(t);
+            runtime::ParallelSweepExecutor executor(pool, t);
+            runtime::ChromaticGibbsSampler sampler(mrf, executor,
+                                                   1234);
+            sampler.sweep(); // warm-up: page in, prime caches
+
+            const auto start = std::chrono::steady_clock::now();
+            sampler.run(sweeps);
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+
+            const double rate = sweeps / elapsed.count();
+            if (t == threads.front())
+                base_rate = rate;
+            const double speedup = rate / base_rate;
+            rows.push_back({size, t, sweeps, rate, speedup});
+            std::printf("%8d %8d %7d %14.2f %7.2fx\n", size, t,
+                        sweeps, rate, speedup);
+        }
+    }
+
+    FILE *json = std::fopen("BENCH_runtime_scaling.json", "w");
+    if (!json) {
+        std::fprintf(stderr,
+                     "cannot write BENCH_runtime_scaling.json\n");
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n  \"benchmark\": \"runtime_scaling\",\n"
+                 "  \"labels\": %d,\n"
+                 "  \"hardware_threads\": %d,\n"
+                 "  \"results\": [\n",
+                 labels, hardware);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(json,
+                     "    {\"size\": %d, \"threads\": %d, "
+                     "\"sweeps\": %d, \"sweeps_per_sec\": %.3f, "
+                     "\"speedup\": %.3f}%s\n",
+                     r.size, r.threads, r.sweeps, r.sweeps_per_sec,
+                     r.speedup, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_runtime_scaling.json (%zu rows)\n",
+                rows.size());
+    return 0;
+}

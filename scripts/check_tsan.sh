@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Rebuild the concurrency-sensitive tests under ThreadSanitizer and
+# run them. Kept out of the default (tier-1) build so `ctest` stays
+# fast; run this script directly, or configure the main build with
+# -DRSU_TSAN_CHECK=ON to register it as a CTest test labelled
+# "tsan".
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${SOURCE_DIR}/build-tsan}"
+
+cmake -B "${BUILD_DIR}" -S "${SOURCE_DIR}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "${BUILD_DIR}" -j --target runtime_test mrf_test
+
+# Only the labelled (runtime + mrf) tests: the suites that exercise
+# the thread pool, the chromatic executor, and the sampler kernels
+# it drives.
+ctest --test-dir "${BUILD_DIR}" -L 'runtime|mrf' \
+    --output-on-failure -j "$(nproc)"
+
+echo "ThreadSanitizer check passed."

@@ -14,28 +14,35 @@ GibbsSampler::GibbsSampler(GridMrf &mrf, uint64_t seed,
 }
 
 Label
+GibbsSampler::updateSiteWith(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
+                             double *weights, SamplerWork &work,
+                             int x, int y)
+{
+    const int m = mrf.numLabels();
+    const double t = mrf.temperature();
+    EnergyInputs in = mrf.inputsAt(x, y);
+    for (int i = 0; i < m; ++i) {
+        const Label code = mrf.codeOf(i);
+        in.data2 = mrf.singleton().data2(x, y, code);
+        const Energy e = mrf.energyUnit().evaluate(code, in);
+        weights[i] = std::exp(-static_cast<double>(e) / t);
+    }
+    work.energy_evals += m;
+    work.exp_calls += m;
+
+    const int choice = rsu::rng::sampleDiscreteLinear(rng, weights, m);
+    ++work.random_draws;
+    ++work.site_updates;
+
+    const Label l = mrf.codeOf(choice);
+    mrf.setLabel(x, y, l);
+    return l;
+}
+
+Label
 GibbsSampler::updateSite(int x, int y)
 {
-    const int m = mrf_.numLabels();
-    const double t = mrf_.temperature();
-    EnergyInputs in = mrf_.inputsAt(x, y);
-    for (int i = 0; i < m; ++i) {
-        const Label code = mrf_.codeOf(i);
-        in.data2 = mrf_.singleton().data2(x, y, code);
-        const Energy e = mrf_.energyUnit().evaluate(code, in);
-        weights_[i] = std::exp(-static_cast<double>(e) / t);
-    }
-    work_.energy_evals += m;
-    work_.exp_calls += m;
-
-    const int choice =
-        rsu::rng::sampleDiscreteLinear(rng_, weights_.data(), m);
-    ++work_.random_draws;
-    ++work_.site_updates;
-
-    const Label l = mrf_.codeOf(choice);
-    mrf_.setLabel(x, y, l);
-    return l;
+    return updateSiteWith(mrf_, rng_, weights_.data(), work_, x, y);
 }
 
 void

@@ -48,6 +48,20 @@ class GibbsSampler
     /** Resample one site from its full conditional. */
     Label updateSite(int x, int y);
 
+    /**
+     * The site-update kernel with externally supplied state: draw a
+     * new label for (x, y) of @p mrf from its full conditional using
+     * @p rng, record costs in @p work, and install it. @p weights is
+     * caller-owned scratch with at least numLabels() entries. The
+     * chromatic runtime (src/runtime/) calls this with one RNG
+     * stream and scratch buffer per worker; updateSite() is this
+     * with the sampler's own members.
+     */
+    static Label updateSiteWith(GridMrf &mrf,
+                                rsu::rng::Xoshiro256 &rng,
+                                double *weights, SamplerWork &work,
+                                int x, int y);
+
     /** One MCMC iteration: every site updated once. */
     void sweep();
 

@@ -32,16 +32,35 @@ RsuGibbsSampler::unitConfigFor(const GridMrf &mrf,
 }
 
 Label
+RsuGibbsSampler::updateSiteWith(GridMrf &mrf, rsu::core::RsuG &unit,
+                                uint8_t *data2, SamplerWork &work,
+                                int x, int y)
+{
+    const EnergyInputs in = mrf.referencedInputsAt(x, y);
+    mrf.data2At(x, y, data2);
+
+    const Label l = unit.sample(in, data2);
+
+    work.energy_evals += mrf.numLabels();
+    ++work.random_draws;
+    ++work.site_updates;
+
+    mrf.setLabel(x, y, l);
+    return l;
+}
+
+Label
 RsuGibbsSampler::updateSite(int x, int y)
 {
+    if (mode_ == Mode::Direct)
+        return updateSiteWith(mrf_, unit_, data2_.data(), work_, x, y);
+
     const int m = mrf_.numLabels();
     const EnergyInputs in = mrf_.referencedInputsAt(x, y);
     mrf_.data2At(x, y, data2_.data());
 
     Label l;
-    if (mode_ == Mode::Direct) {
-        l = unit_.sample(in, data2_.data());
-    } else {
+    {
         device_.write(RsuReg::Neighbors,
                       packNeighbors(in.neighbors, in.neighbor_valid));
         device_.write(RsuReg::SingletonA, in.data1);

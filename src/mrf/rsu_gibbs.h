@@ -61,6 +61,20 @@ class RsuGibbsSampler
     /** Resample one site through the device. */
     Label updateSite(int x, int y);
 
+    /**
+     * The Direct-mode site-update kernel with externally supplied
+     * state: draw a new label for (x, y) of @p mrf through @p unit
+     * (whose internal RNG is the entropy source), record costs in
+     * @p work, and install it. @p data2 is caller-owned scratch with
+     * at least numLabels() entries. The chromatic runtime
+     * (src/runtime/) gives each worker its own emulated RSU-G —
+     * exactly the paper's array-of-units organization — and drives
+     * its row band through this entry point.
+     */
+    static Label updateSiteWith(GridMrf &mrf, rsu::core::RsuG &unit,
+                                uint8_t *data2, SamplerWork &work,
+                                int x, int y);
+
     /** One MCMC iteration: every site updated once. */
     void sweep();
 

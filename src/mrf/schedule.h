@@ -22,6 +22,24 @@ enum class Schedule {
 };
 
 /**
+ * Invoke @p fn(x, y) for every site of rows [y0, y1) whose
+ * checkerboard colour (x + y) mod 2 equals @p parity, in row-major
+ * order. This is the shard primitive of the chromatic runtime: the
+ * whole-lattice checkerboard sweep is the y0 = 0, y1 = height case,
+ * and a row-band shard is any sub-range — both iterate sites in the
+ * exact same per-row order, so shard boundaries never change which
+ * sites a colour phase visits or in what order within a row.
+ */
+template <typename Fn>
+void
+forEachSiteInRows(int width, int y0, int y1, int parity, Fn &&fn)
+{
+    for (int y = y0; y < y1; ++y)
+        for (int x = (parity ^ y) & 1; x < width; x += 2)
+            fn(x, y);
+}
+
+/**
  * Invoke @p fn(x, y) for every site of a width x height lattice in
  * the given schedule's order.
  */
@@ -36,10 +54,7 @@ forEachSite(int width, int height, Schedule schedule, Fn &&fn)
         return;
     }
     for (int parity = 0; parity < 2; ++parity)
-        for (int y = 0; y < height; ++y)
-            for (int x = 0; x < width; ++x)
-                if (((x + y) & 1) == parity)
-                    fn(x, y);
+        forEachSiteInRows(width, 0, height, parity, fn);
 }
 
 } // namespace rsu::mrf

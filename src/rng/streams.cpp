@@ -1,0 +1,38 @@
+#include "rng/streams.h"
+
+#include <stdexcept>
+
+#include "rng/splitmix64.h"
+
+namespace rsu::rng {
+
+std::vector<Xoshiro256>
+splitStreams(uint64_t seed, int count)
+{
+    if (count < 1)
+        throw std::invalid_argument("splitStreams: need count >= 1");
+    std::vector<Xoshiro256> streams;
+    streams.reserve(count);
+    Xoshiro256 stream(seed);
+    for (int i = 0; i < count; ++i) {
+        streams.push_back(stream);
+        stream.jump();
+    }
+    return streams;
+}
+
+std::vector<uint64_t>
+splitSeeds(uint64_t seed, int count)
+{
+    if (count < 1)
+        throw std::invalid_argument("splitSeeds: need count >= 1");
+    std::vector<uint64_t> seeds;
+    seeds.reserve(count);
+    seeds.push_back(seed);
+    SplitMix64 sm(seed);
+    for (int i = 1; i < count; ++i)
+        seeds.push_back(sm.next());
+    return seeds;
+}
+
+} // namespace rsu::rng

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic stream splitting for parallel samplers.
+ *
+ * The chromatic runtime (src/runtime/) runs same-colour checkerboard
+ * sites on many workers at once; each worker must consume entropy
+ * from its own non-overlapping subsequence so a run is reproducible
+ * for a fixed (seed, worker count) pair regardless of how the OS
+ * schedules the threads. xoshiro256++'s jump() advances the state by
+ * 2^128 steps, so consecutive jumps carve the generator's period into
+ * disjoint streams far longer than any run can exhaust.
+ */
+
+#ifndef RSU_RNG_STREAMS_H
+#define RSU_RNG_STREAMS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/xoshiro256.h"
+
+namespace rsu::rng {
+
+/**
+ * @p count non-overlapping Xoshiro256 streams derived from one seed.
+ *
+ * Stream 0 is exactly Xoshiro256(seed) — so a single-stream consumer
+ * is bit-identical to a sequential sampler seeded the same way — and
+ * stream i is stream i-1 advanced by jump() (2^128 steps).
+ */
+std::vector<Xoshiro256> splitStreams(uint64_t seed, int count);
+
+/**
+ * @p count decorrelated 64-bit seeds derived from one seed, for
+ * components that take a scalar seed rather than an engine (e.g. one
+ * emulated RSU-G device per worker). Seed 0 is the input seed itself
+ * so a single-worker run matches a sequential device; the rest come
+ * from a SplitMix64 stream over the input.
+ */
+std::vector<uint64_t> splitSeeds(uint64_t seed, int count);
+
+} // namespace rsu::rng
+
+#endif // RSU_RNG_STREAMS_H

@@ -1,0 +1,92 @@
+#include "runtime/chromatic_sampler.h"
+
+#include "mrf/rsu_gibbs.h"
+#include "rng/streams.h"
+
+namespace rsu::runtime {
+
+ChromaticGibbsSampler::ChromaticGibbsSampler(
+    rsu::mrf::GridMrf &mrf, ParallelSweepExecutor &executor,
+    uint64_t seed, SamplerKind kind,
+    const rsu::core::RsuGConfig &rsu_base)
+    : mrf_(mrf), executor_(executor), kind_(kind),
+      shards_(executor.shards())
+{
+    const int n = executor.shards();
+    if (kind_ == SamplerKind::SoftwareGibbs) {
+        auto streams = rsu::rng::splitStreams(seed, n);
+        for (int s = 0; s < n; ++s) {
+            shards_[s].rng = streams[s];
+            shards_[s].weights.resize(mrf.numLabels());
+        }
+    } else {
+        auto config =
+            rsu::mrf::RsuGibbsSampler::unitConfigFor(mrf, rsu_base);
+        const auto seeds = rsu::rng::splitSeeds(seed, n);
+        for (int s = 0; s < n; ++s) {
+            auto &shard = shards_[s];
+            shard.unit = std::make_unique<rsu::core::RsuG>(
+                config, seeds[s]);
+            shard.unit->initialize(mrf.numLabels(),
+                                   mrf.temperature());
+            shard.unit->setLabelCodes(mrf.labelCodes());
+            shard.data2.resize(mrf.numLabels());
+        }
+    }
+}
+
+void
+ChromaticGibbsSampler::sweep()
+{
+    if (kind_ == SamplerKind::SoftwareGibbs) {
+        executor_.sweep(
+            mrf_.width(), mrf_.height(), [this](int s, int x, int y) {
+                auto &shard = shards_[s];
+                rsu::mrf::GibbsSampler::updateSiteWith(
+                    mrf_, shard.rng, shard.weights.data(),
+                    shard.work, x, y);
+            });
+    } else {
+        executor_.sweep(
+            mrf_.width(), mrf_.height(), [this](int s, int x, int y) {
+                auto &shard = shards_[s];
+                rsu::mrf::RsuGibbsSampler::updateSiteWith(
+                    mrf_, *shard.unit, shard.data2.data(),
+                    shard.work, x, y);
+            });
+    }
+}
+
+void
+ChromaticGibbsSampler::run(int n)
+{
+    for (int i = 0; i < n; ++i)
+        sweep();
+}
+
+void
+ChromaticGibbsSampler::setTemperature(double t)
+{
+    mrf_.setTemperature(t);
+    if (kind_ != SamplerKind::RsuGibbs)
+        return;
+    for (auto &shard : shards_) {
+        shard.unit->initialize(mrf_.numLabels(), t);
+        shard.unit->setLabelCodes(mrf_.labelCodes());
+    }
+}
+
+rsu::mrf::SamplerWork
+ChromaticGibbsSampler::work() const
+{
+    rsu::mrf::SamplerWork total;
+    for (const auto &shard : shards_) {
+        total.site_updates += shard.work.site_updates;
+        total.energy_evals += shard.work.energy_evals;
+        total.exp_calls += shard.work.exp_calls;
+        total.random_draws += shard.work.random_draws;
+    }
+    return total;
+}
+
+} // namespace rsu::runtime

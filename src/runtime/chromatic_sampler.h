@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Multi-threaded chromatic Gibbs sampling over a GridMrf.
+ *
+ * Binds the ParallelSweepExecutor to the two sampler backends: the
+ * software-reference Gibbs kernel and the emulated RSU-G device. Each
+ * shard owns the full per-worker state a correct parallel chain
+ * needs — an RNG stream (jump()-separated, see rng/streams.h) or a
+ * whole emulated RSU-G device, candidate-weight scratch, and its own
+ * work counters — so a sweep performs zero cross-shard writes except
+ * the chromatically safe label-field updates themselves.
+ *
+ * With one shard the chain consumes entropy in exactly the sequential
+ * samplers' order, so results are bit-identical to GibbsSampler /
+ * RsuGibbsSampler (Direct mode) with the same seed; with S shards
+ * results are bit-identical across runs and across pool sizes for
+ * the same (seed, S).
+ */
+
+#ifndef RSU_RUNTIME_CHROMATIC_SAMPLER_H
+#define RSU_RUNTIME_CHROMATIC_SAMPLER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rsu_g.h"
+#include "mrf/gibbs.h"
+#include "mrf/grid_mrf.h"
+#include "rng/xoshiro256.h"
+#include "runtime/parallel_sweep.h"
+
+namespace rsu::runtime {
+
+/** Which site-update kernel the runtime drives. */
+enum class SamplerKind {
+    SoftwareGibbs, //!< full-conditional softmax + CDF scan per site
+    RsuGibbs,      //!< emulated RSU-G device race, one unit per shard
+};
+
+/** Parallel checkerboard Gibbs chain over a thread pool. */
+class ChromaticGibbsSampler
+{
+  public:
+    /**
+     * @param mrf model to sample (labels mutated in place; must
+     *        outlive the sampler)
+     * @param executor phase/shard driver (must outlive the sampler);
+     *        its shard count fixes this chain's stream count
+     * @param seed entropy seed; shard 0's stream is seeded exactly
+     *        like the sequential samplers so 1-shard runs reproduce
+     *        them bit-for-bit
+     * @param kind site-update backend
+     * @param rsu_base RSU-G configuration template for the per-shard
+     *        units (RsuGibbs only); the energy datapath is overridden
+     *        to match the model's, as RsuGibbsSampler requires
+     */
+    ChromaticGibbsSampler(rsu::mrf::GridMrf &mrf,
+                          ParallelSweepExecutor &executor,
+                          uint64_t seed,
+                          SamplerKind kind = SamplerKind::SoftwareGibbs,
+                          const rsu::core::RsuGConfig &rsu_base = {});
+
+    /** One MCMC iteration: every site updated once, chromatically. */
+    void sweep();
+
+    /** Run @p n sweeps. */
+    void run(int n);
+
+    /**
+     * Install a new Gibbs temperature (annealing). For the RSU
+     * backend this re-initializes every shard's unit intensity map,
+     * mirroring RsuGibbsSampler::setTemperature.
+     */
+    void setTemperature(double t);
+
+    /** Work counters summed over all shards. */
+    rsu::mrf::SamplerWork work() const;
+
+    SamplerKind kind() const { return kind_; }
+    int shards() const { return static_cast<int>(shards_.size()); }
+
+    /** Shard @p s's emulated device (RsuGibbs only; tests/wear). */
+    rsu::core::RsuG &unit(int s) { return *shards_[s].unit; }
+
+  private:
+    /** Everything one worker touches during a phase. */
+    struct Shard
+    {
+        rsu::rng::Xoshiro256 rng{0};
+        std::vector<double> weights;      // SoftwareGibbs scratch
+        std::vector<uint8_t> data2;       // RsuGibbs scratch
+        std::unique_ptr<rsu::core::RsuG> unit; // RsuGibbs device
+        rsu::mrf::SamplerWork work;
+    };
+
+    rsu::mrf::GridMrf &mrf_;
+    ParallelSweepExecutor &executor_;
+    SamplerKind kind_;
+    std::vector<Shard> shards_;
+};
+
+} // namespace rsu::runtime
+
+#endif // RSU_RUNTIME_CHROMATIC_SAMPLER_H

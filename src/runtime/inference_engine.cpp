@@ -1,0 +1,151 @@
+#include "runtime/inference_engine.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace rsu::runtime {
+
+InferenceEngine::InferenceEngine(Options options)
+    : options_(options), pool_(options.threads)
+{
+    if (options_.max_concurrent_jobs < 1)
+        throw std::invalid_argument(
+            "InferenceEngine: need max_concurrent_jobs >= 1");
+    dispatchers_.reserve(options_.max_concurrent_jobs);
+    for (int i = 0; i < options_.max_concurrent_jobs; ++i)
+        dispatchers_.emplace_back([this] { dispatcherLoop(); });
+}
+
+InferenceEngine::~InferenceEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &dispatcher : dispatchers_)
+        dispatcher.join();
+}
+
+std::future<InferenceResult>
+InferenceEngine::submit(InferenceJob job)
+{
+    if (!job.singleton)
+        throw std::invalid_argument(
+            "InferenceEngine: job needs a singleton model");
+    QueuedJob queued;
+    queued.job = std::move(job);
+    auto future = queued.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_)
+            throw std::runtime_error(
+                "InferenceEngine: submit after shutdown");
+        queued.id = next_id_++;
+        ++unfinished_;
+        queue_.push_back(std::move(queued));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+int
+InferenceEngine::pendingJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return unfinished_;
+}
+
+void
+InferenceEngine::dispatcherLoop()
+{
+    for (;;) {
+        QueuedJob queued;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and queue drained
+            queued = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // The job must count as finished before its future resolves,
+        // or a caller waking from future.get() could still observe
+        // it as pending.
+        try {
+            auto result = execute(queued.job, queued.id);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --unfinished_;
+            }
+            queued.promise.set_value(std::move(result));
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --unfinished_;
+            }
+            queued.promise.set_exception(std::current_exception());
+        }
+    }
+}
+
+InferenceResult
+InferenceEngine::execute(InferenceJob &job, uint64_t id)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    rsu::mrf::GridMrf mrf(job.config, *job.singleton);
+    if (job.initial_labels.empty())
+        mrf.initializeMaximumLikelihood();
+    else
+        mrf.setLabels(job.initial_labels);
+
+    int shards = job.shards;
+    if (shards == 0)
+        shards = options_.default_shards;
+    ParallelSweepExecutor executor(pool_, shards);
+    ChromaticGibbsSampler sampler(mrf, executor, job.seed,
+                                  job.sampler, job.rsu_base);
+
+    InferenceResult result;
+    result.job_id = id;
+    result.shards = executor.shards();
+    result.initial_energy = mrf.totalEnergy();
+    result.energy_trace.push_back(result.initial_energy);
+
+    int sweeps_run = 0;
+    const auto traced_sweep = [&] {
+        sampler.sweep();
+        ++sweeps_run;
+        if (job.energy_trace_stride > 0 &&
+            sweeps_run % job.energy_trace_stride == 0)
+            result.energy_trace.push_back(mrf.totalEnergy());
+    };
+
+    if (job.annealing) {
+        result.final_energy = rsu::mrf::anneal(
+            mrf, *job.annealing,
+            [&](double t) { sampler.setTemperature(t); },
+            traced_sweep);
+    } else {
+        for (int i = 0; i < job.sweeps; ++i)
+            traced_sweep();
+        result.final_energy = mrf.totalEnergy();
+    }
+
+    if (result.energy_trace.back() != result.final_energy)
+        result.energy_trace.push_back(result.final_energy);
+
+    result.labels = mrf.labels();
+    result.work = sampler.work();
+    result.phase_timing = executor.timing();
+    result.sweeps_run = sweeps_run;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    result.elapsed_seconds = elapsed.count();
+    return result;
+}
+
+} // namespace rsu::runtime

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Batched inference job engine.
+ *
+ * The serving layer the ROADMAP's production north star needs: many
+ * callers submit independent MRF inference jobs; the engine queues
+ * them, runs up to a configured number concurrently, and executes
+ * each job's sweeps chromatically across one shared thread pool.
+ * Because shard tasks from concurrent jobs interleave on the same
+ * FIFO queue, the pool's workers stay busy even when a single small
+ * lattice cannot fill the machine — the software analogue of packing
+ * several MRF applications onto one array of RSUs.
+ *
+ * Each job is reproducible in isolation: results depend only on
+ * (job seed, shard count, model), never on what else was queued or
+ * on thread scheduling.
+ */
+
+#ifndef RSU_RUNTIME_INFERENCE_ENGINE_H
+#define RSU_RUNTIME_INFERENCE_ENGINE_H
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "core/rsu_g.h"
+#include "mrf/annealing.h"
+#include "mrf/gibbs.h"
+#include "mrf/grid_mrf.h"
+#include "runtime/chromatic_sampler.h"
+#include "runtime/parallel_sweep.h"
+#include "runtime/thread_pool.h"
+
+namespace rsu::runtime {
+
+/** One unit of inference work. */
+struct InferenceJob
+{
+    /** Lattice and potential parameters. */
+    rsu::mrf::MrfConfig config;
+
+    /** Singleton data source; must outlive the job's future. */
+    const rsu::mrf::SingletonModel *singleton = nullptr;
+
+    /** Sweeps to run (ignored when annealing is set — the schedule
+     * determines the count). */
+    int sweeps = 100;
+
+    /** When set, anneal under this schedule instead of running at
+     * the fixed configured temperature; the result carries the best
+     * labelling seen. */
+    std::optional<rsu::mrf::AnnealingSchedule> annealing;
+
+    /** Site-update backend. */
+    SamplerKind sampler = SamplerKind::SoftwareGibbs;
+
+    /** Per-shard RSU-G template (RsuGibbs only); energy datapath is
+     * overridden from the model. */
+    rsu::core::RsuGConfig rsu_base;
+
+    /** Entropy seed (streams split per shard, see rng/streams.h). */
+    uint64_t seed = 1;
+
+    /** Row-band shard / RNG stream count; 0 = engine default. The
+     * result is bit-reproducible per (seed, shards). */
+    int shards = 0;
+
+    /** Record totalEnergy() every k sweeps into the energy trace
+     * (0 = endpoints only). Each probe is a full lattice scan. */
+    int energy_trace_stride = 0;
+
+    /** Starting labelling; empty = per-site maximum likelihood. */
+    std::vector<rsu::mrf::Label> initial_labels;
+};
+
+/** What a finished job returns. */
+struct InferenceResult
+{
+    std::vector<rsu::mrf::Label> labels; //!< final (or best) field
+    std::vector<int64_t> energy_trace;   //!< per-stride energies
+    int64_t initial_energy = 0;
+    int64_t final_energy = 0;   //!< energy of `labels`
+    rsu::mrf::SamplerWork work; //!< summed over shards
+    PhaseTiming phase_timing;   //!< per-colour-phase wall clock
+    double elapsed_seconds = 0.0;
+    int sweeps_run = 0;
+    int shards = 0;
+    uint64_t job_id = 0;
+};
+
+/** InferenceEngine construction parameters. */
+struct EngineOptions
+{
+    /** Pool worker threads; 0 = hardware concurrency. */
+    int threads = 0;
+
+    /** Jobs executed concurrently (their shard tasks interleave
+     * on the pool); the rest wait queued. */
+    int max_concurrent_jobs = 2;
+
+    /** Default shard count for jobs that leave shards = 0;
+     * 0 = the pool's thread count. */
+    int default_shards = 0;
+};
+
+/** Queues, batches, and executes inference jobs on a shared pool. */
+class InferenceEngine
+{
+  public:
+    using Options = EngineOptions;
+
+    explicit InferenceEngine(Options options = {});
+
+    /** Drains queued jobs, then joins all engine threads. */
+    ~InferenceEngine();
+
+    InferenceEngine(const InferenceEngine &) = delete;
+    InferenceEngine &operator=(const InferenceEngine &) = delete;
+
+    /**
+     * Enqueue @p job; the future resolves when it completes (or
+     * carries the exception that aborted it). The job's singleton
+     * model must stay alive until then.
+     */
+    std::future<InferenceResult> submit(InferenceJob job);
+
+    /** Jobs accepted but not yet finished. */
+    int pendingJobs() const;
+
+    int threads() const { return pool_.size(); }
+
+  private:
+    struct QueuedJob
+    {
+        InferenceJob job;
+        std::promise<InferenceResult> promise;
+        uint64_t id = 0;
+    };
+
+    void dispatcherLoop();
+    InferenceResult execute(InferenceJob &job, uint64_t id);
+
+    Options options_;
+    ThreadPool pool_;
+    std::vector<std::thread> dispatchers_;
+    std::deque<QueuedJob> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    int unfinished_ = 0;
+    uint64_t next_id_ = 1;
+};
+
+} // namespace rsu::runtime
+
+#endif // RSU_RUNTIME_INFERENCE_ENGINE_H

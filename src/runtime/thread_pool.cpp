@@ -1,0 +1,89 @@
+#include "runtime/thread_pool.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rsu::runtime {
+
+Latch::Latch(int count) : count_(count)
+{
+    if (count < 0)
+        throw std::invalid_argument("Latch: need count >= 0");
+}
+
+void
+Latch::countDown()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ > 0 && --count_ == 0)
+        cv_.notify_all();
+}
+
+void
+Latch::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+}
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? static_cast<int>(n) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    if (num_threads < 0)
+        throw std::invalid_argument("ThreadPool: need threads >= 0");
+    if (num_threads == 0)
+        num_threads = hardwareThreads();
+    threads_.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_)
+            throw std::runtime_error(
+                "ThreadPool: submit after shutdown");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace rsu::runtime

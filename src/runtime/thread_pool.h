@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fixed-size thread pool and countdown latch.
+ *
+ * The execution substrate of the chromatic inference runtime. The
+ * paper's parallelism argument (section 4.2, Figure 4) is phase
+ * structured: all same-colour checkerboard sites may update at once,
+ * but a colour phase must fully retire before the opposite colour
+ * starts. That maps onto a deliberately simple pool — a fixed set of
+ * workers draining one FIFO queue, no work stealing — plus a Latch
+ * the submitter blocks on to close each phase. Shard tasks within a
+ * phase are uniform row bands of one lattice, so stealing would buy
+ * nothing and cost determinism-debugging pain.
+ */
+
+#ifndef RSU_RUNTIME_THREAD_POOL_H
+#define RSU_RUNTIME_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rsu::runtime {
+
+/**
+ * Single-use countdown latch (a C++20 std::latch equivalent kept
+ * in-tree so the runtime has one obvious place to instrument or
+ * swap the phase-closing primitive).
+ */
+class Latch
+{
+  public:
+    explicit Latch(int count);
+
+    /** Decrement the counter; at zero, releases all waiters. */
+    void countDown();
+
+    /** Block until the counter reaches zero. */
+    void wait();
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    int count_;
+};
+
+/** Fixed-size FIFO thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads worker count; 0 selects the hardware
+     *        concurrency (at least 1)
+     */
+    explicit ThreadPool(int num_threads = 0);
+
+    /** Joins the workers after draining queued tasks. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker thread count. */
+    int size() const { return static_cast<int>(threads_.size()); }
+
+    /** Enqueue a task; runs on some worker in FIFO order. */
+    void submit(std::function<void()> task);
+
+    /** std::thread::hardware_concurrency(), at least 1. */
+    static int hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace rsu::runtime
+
+#endif // RSU_RUNTIME_THREAD_POOL_H

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Chromatic runtime tests: shard partitioning, pool/latch basics,
+ * determinism of the parallel chain (including bit-equality with the
+ * sequential samplers at one shard), chromatic phase safety, and the
+ * inference-engine job layer.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rsu_g.h"
+#include "mrf/gibbs.h"
+#include "mrf/grid_mrf.h"
+#include "mrf/rsu_gibbs.h"
+#include "mrf/schedule.h"
+#include "rng/streams.h"
+#include "runtime/chromatic_sampler.h"
+#include "runtime/inference_engine.h"
+#include "runtime/parallel_sweep.h"
+#include "runtime/thread_pool.h"
+#include "vision/segmentation.h"
+#include "vision/synthetic.h"
+
+namespace {
+
+using rsu::mrf::GridMrf;
+using rsu::mrf::Label;
+using rsu::runtime::ChromaticGibbsSampler;
+using rsu::runtime::InferenceEngine;
+using rsu::runtime::InferenceJob;
+using rsu::runtime::ParallelSweepExecutor;
+using rsu::runtime::SamplerKind;
+using rsu::runtime::shardRows;
+using rsu::runtime::ThreadPool;
+
+/** A small segmentation problem with deterministic content. */
+struct Problem
+{
+    rsu::vision::SegmentationScene scene;
+    rsu::vision::SegmentationModel model;
+    rsu::mrf::MrfConfig config;
+
+    Problem(int width, int height, int labels, uint64_t seed)
+        : scene(makeScene(width, height, labels, seed)),
+          model(scene.image, scene.region_means),
+          config(rsu::vision::segmentationConfig(scene.image, labels))
+    {
+    }
+
+    static rsu::vision::SegmentationScene
+    makeScene(int width, int height, int labels, uint64_t seed)
+    {
+        rsu::rng::Xoshiro256 rng(seed);
+        return rsu::vision::makeSegmentationScene(width, height,
+                                                  labels, 3.0, rng);
+    }
+};
+
+TEST(ShardRows, PartitionCoversDisjointBalanced)
+{
+    for (int height : {1, 7, 24, 100}) {
+        for (int shards : {1, 2, 3, 8, 150}) {
+            const auto bands = shardRows(height, shards);
+            ASSERT_EQ(static_cast<int>(bands.size()), shards);
+            int y = 0, min_rows = height, max_rows = 0;
+            for (const auto &band : bands) {
+                EXPECT_EQ(band.y0, y);
+                EXPECT_GE(band.rows(), 0);
+                y = band.y1;
+                min_rows = std::min(min_rows, band.rows());
+                max_rows = std::max(max_rows, band.rows());
+            }
+            EXPECT_EQ(y, height);
+            EXPECT_LE(max_rows - min_rows, 1);
+        }
+    }
+    EXPECT_THROW(shardRows(10, 0), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::atomic<int> counter{0};
+    rsu::runtime::Latch latch(100);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] {
+            counter.fetch_add(1, std::memory_order_relaxed);
+            latch.countDown();
+        });
+    latch.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(Schedule, ForEachSiteInRowsMatchesWholeLatticeSweep)
+{
+    const int w = 9, h = 7;
+    std::vector<std::pair<int, int>> whole;
+    rsu::mrf::forEachSite(w, h, rsu::mrf::Schedule::Checkerboard,
+                          [&](int x, int y) {
+                              whole.emplace_back(x, y);
+                          });
+
+    std::vector<std::pair<int, int>> by_rows;
+    for (int parity = 0; parity < 2; ++parity)
+        rsu::mrf::forEachSiteInRows(w, 0, h, parity,
+                                    [&](int x, int y) {
+                                        by_rows.emplace_back(x, y);
+                                    });
+    EXPECT_EQ(whole, by_rows);
+
+    // A banded visit covers each colour class exactly once, and
+    // every visited site has the phase's parity.
+    const auto bands = shardRows(h, 3);
+    for (int parity = 0; parity < 2; ++parity) {
+        std::set<std::pair<int, int>> visited;
+        for (const auto &band : bands)
+            rsu::mrf::forEachSiteInRows(
+                w, band.y0, band.y1, parity, [&](int x, int y) {
+                    EXPECT_EQ((x + y) & 1, parity);
+                    EXPECT_TRUE(visited.emplace(x, y).second);
+                });
+        EXPECT_EQ(static_cast<int>(visited.size()),
+                  (w * h + (parity == 0 ? 1 : 0)) / 2);
+    }
+}
+
+TEST(Streams, SplitStreamsAreDisjointAndAnchored)
+{
+    auto streams = rsu::rng::splitStreams(77, 4);
+    rsu::rng::Xoshiro256 reference(77);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(streams[0](), reference());
+
+    // Distinct streams should not produce identical outputs.
+    EXPECT_NE(streams[1](), streams[2]());
+
+    const auto seeds = rsu::rng::splitSeeds(77, 3);
+    EXPECT_EQ(seeds[0], 77u);
+    EXPECT_NE(seeds[1], seeds[2]);
+}
+
+TEST(ChromaticSampler, OneShardMatchesSequentialGibbs)
+{
+    Problem p(33, 26, 4, 11);
+
+    GridMrf sequential(p.config, p.model);
+    sequential.initializeMaximumLikelihood();
+    rsu::mrf::GibbsSampler reference(sequential, 5);
+    reference.run(4);
+
+    GridMrf parallel(p.config, p.model);
+    parallel.initializeMaximumLikelihood();
+    ThreadPool pool(2);
+    ParallelSweepExecutor executor(pool, 1);
+    ChromaticGibbsSampler sampler(parallel, executor, 5);
+    sampler.run(4);
+
+    EXPECT_EQ(sequential.labels(), parallel.labels());
+    EXPECT_EQ(reference.work().random_draws,
+              sampler.work().random_draws);
+}
+
+TEST(ChromaticSampler, OneShardMatchesSequentialRsuGibbs)
+{
+    Problem p(24, 18, 3, 23);
+
+    GridMrf sequential(p.config, p.model);
+    sequential.initializeMaximumLikelihood();
+    rsu::core::RsuG unit(
+        rsu::mrf::RsuGibbsSampler::unitConfigFor(sequential), 9);
+    rsu::mrf::RsuGibbsSampler reference(sequential, unit);
+    reference.run(3);
+
+    GridMrf parallel(p.config, p.model);
+    parallel.initializeMaximumLikelihood();
+    ThreadPool pool(2);
+    ParallelSweepExecutor executor(pool, 1);
+    ChromaticGibbsSampler sampler(parallel, executor, 9,
+                                  SamplerKind::RsuGibbs);
+    sampler.run(3);
+
+    EXPECT_EQ(sequential.labels(), parallel.labels());
+}
+
+TEST(ChromaticSampler, DeterministicPerSeedAndShardCount)
+{
+    Problem p(40, 31, 5, 3);
+
+    const auto run = [&](int shards, int pool_threads,
+                         SamplerKind kind) {
+        GridMrf mrf(p.config, p.model);
+        mrf.initializeMaximumLikelihood();
+        ThreadPool pool(pool_threads);
+        ParallelSweepExecutor executor(pool, shards);
+        ChromaticGibbsSampler sampler(mrf, executor, 123, kind);
+        sampler.run(3);
+        return mrf.labels();
+    };
+
+    for (SamplerKind kind :
+         {SamplerKind::SoftwareGibbs, SamplerKind::RsuGibbs}) {
+        for (int shards : {1, 2, 4, 8}) {
+            const auto a = run(shards, 2, kind);
+            const auto b = run(shards, 2, kind);
+            EXPECT_EQ(a, b) << "shards=" << shards;
+            // Pool size must not affect the result — only the
+            // (seed, shard count) pair identifies the chain.
+            const auto c = run(shards, 5, kind);
+            EXPECT_EQ(a, c) << "shards=" << shards;
+        }
+    }
+}
+
+TEST(ParallelSweep, NoSamePhaseNeighbourUpdates)
+{
+    // Instrumented sweep: stamp each site with the phase in which it
+    // was updated; a chromatic violation would be a neighbour already
+    // stamped with the current phase. Runs many shards on several
+    // threads to give interleavings a chance to expose bugs.
+    const int w = 31, h = 23;
+    ThreadPool pool(4);
+    ParallelSweepExecutor executor(pool, 8);
+    std::vector<std::atomic<int>> stamp(w * h);
+    for (auto &s : stamp)
+        s.store(-1, std::memory_order_relaxed);
+
+    std::atomic<int> violations{0};
+    std::atomic<int> updates{0};
+    for (int sweep = 0; sweep < 3; ++sweep) {
+        // The executor runs both phases inside one sweep() call;
+        // the phase a site was updated in is derivable from its
+        // parity, giving every update a unique phase stamp.
+        executor.sweep(w, h, [&](int, int x, int y) {
+            const int current = 2 * sweep + ((x + y) & 1);
+            const int dx[] = {1, -1, 0, 0};
+            const int dy[] = {0, 0, 1, -1};
+            for (int k = 0; k < 4; ++k) {
+                const int nx = x + dx[k], ny = y + dy[k];
+                if (nx < 0 || nx >= w || ny < 0 || ny >= h)
+                    continue;
+                if (stamp[ny * w + nx].load() == current)
+                    violations.fetch_add(1);
+            }
+            stamp[y * w + x].store(current);
+            updates.fetch_add(1);
+        });
+    }
+    EXPECT_EQ(violations.load(), 0);
+    EXPECT_EQ(updates.load(), 3 * w * h);
+    EXPECT_EQ(executor.timing().sweeps, 3u);
+    EXPECT_GT(executor.timing().total(), 0.0);
+}
+
+TEST(InferenceEngineTest, JobsAreReproducibleAndIsolated)
+{
+    Problem p(30, 22, 4, 41);
+
+    InferenceEngine::Options options;
+    options.threads = 3;
+    options.max_concurrent_jobs = 2;
+    InferenceEngine engine(options);
+    EXPECT_EQ(engine.threads(), 3);
+
+    const auto make_job = [&](uint64_t seed, int shards) {
+        InferenceJob job;
+        job.config = p.config;
+        job.singleton = &p.model;
+        job.sweeps = 3;
+        job.seed = seed;
+        job.shards = shards;
+        job.energy_trace_stride = 1;
+        return job;
+    };
+
+    // Several concurrent jobs, two of them identical: identical jobs
+    // must agree bit-for-bit even while unrelated jobs share the
+    // pool, and each must match a directly driven chain.
+    std::vector<std::future<rsu::runtime::InferenceResult>> futures;
+    futures.push_back(engine.submit(make_job(100, 2)));
+    futures.push_back(engine.submit(make_job(200, 4)));
+    futures.push_back(engine.submit(make_job(100, 2)));
+    futures.push_back(engine.submit(make_job(300, 1)));
+
+    std::vector<rsu::runtime::InferenceResult> results;
+    for (auto &future : futures)
+        results.push_back(future.get());
+    EXPECT_EQ(engine.pendingJobs(), 0);
+
+    EXPECT_EQ(results[0].labels, results[2].labels);
+    EXPECT_EQ(results[0].final_energy, results[2].final_energy);
+    EXPECT_NE(results[0].job_id, results[2].job_id);
+
+    GridMrf direct(p.config, p.model);
+    direct.initializeMaximumLikelihood();
+    ThreadPool pool(2);
+    ParallelSweepExecutor executor(pool, 2);
+    ChromaticGibbsSampler sampler(direct, executor, 100);
+    sampler.run(3);
+    EXPECT_EQ(results[0].labels, direct.labels());
+
+    for (const auto &result : results) {
+        EXPECT_EQ(static_cast<int>(result.labels.size()),
+                  p.config.width * p.config.height);
+        EXPECT_EQ(result.sweeps_run, 3);
+        // stride 1: initial + one energy per sweep (+ no duplicate
+        // final entry, since the last sweep's probe is the final).
+        EXPECT_EQ(result.energy_trace.size(), 4u);
+        EXPECT_EQ(result.energy_trace.back(), result.final_energy);
+        EXPECT_EQ(result.work.site_updates,
+                  static_cast<uint64_t>(3 * p.config.width *
+                                        p.config.height));
+        EXPECT_EQ(result.phase_timing.sweeps, 3u);
+    }
+}
+
+TEST(InferenceEngineTest, AnnealingJobTracksBestLabelling)
+{
+    Problem p(26, 20, 3, 57);
+
+    InferenceEngine engine({.threads = 2,
+                            .max_concurrent_jobs = 1,
+                            .default_shards = 2});
+
+    InferenceJob job;
+    job.config = p.config;
+    job.singleton = &p.model;
+    job.seed = 5;
+    rsu::mrf::AnnealingSchedule schedule;
+    schedule.start_temperature = p.config.temperature;
+    schedule.stop_temperature = 1.0;
+    schedule.cooling_factor = 0.5;
+    schedule.sweeps_per_stage = 2;
+    job.annealing = schedule;
+
+    auto result = engine.submit(std::move(job)).get();
+    EXPECT_LE(result.final_energy, result.initial_energy);
+    EXPECT_EQ(result.shards, 2);
+    EXPECT_EQ(
+        result.sweeps_run,
+        static_cast<int>(schedule.temperatures().size()) *
+            schedule.sweeps_per_stage);
+
+    // The returned labels are the best-seen configuration.
+    GridMrf check(p.config, p.model);
+    check.setLabels(result.labels);
+    EXPECT_EQ(check.totalEnergy(), result.final_energy);
+}
+
+TEST(InferenceEngineTest, RejectsBadJobs)
+{
+    InferenceEngine engine({.threads = 1});
+    InferenceJob job;
+    EXPECT_THROW(engine.submit(std::move(job)),
+                 std::invalid_argument);
+}
+
+} // namespace
