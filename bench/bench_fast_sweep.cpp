@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Reference vs table-driven software Gibbs sweep benchmark.
+ *
+ * Measures site updates per second of the two software realizations
+ * of the Gibbs inner loop — GibbsSampler's reference path (virtual
+ * data2 + EnergyUnit + std::exp per candidate) and the SweepTables
+ * fast path (precomputed singleton/doubleton/exp lookups with the
+ * interior/border split) — on square lattices across label counts.
+ * The label-count sweep spans the paper's workloads: M = 2/8 run in
+ * scalar mode (denoise/segmentation-like), M = 16/49 in vector mode
+ * with packed 2 x 3-bit codes (motion's 7x7 window is M = 49). A
+ * deterministic synthetic singleton model keeps the data terms
+ * uniform across M so the comparison isolates the sweep kernels.
+ * The two paths are bit-identical per seed
+ * (tests/fast_sweep_test.cpp), so the speedup column is a pure
+ * implementation win at constant output; it is the honest software
+ * baseline the paper's accelerator comparisons should be read
+ * against.
+ *
+ * Results go to stdout as a table and to BENCH_fast_sweep.json as
+ *   {"benchmark": "fast_sweep",
+ *    "metadata": {hardware_concurrency, build_type, cxx_flags, ...},
+ *    "results": [{"size": N, "labels": M, "sweeps": S,
+ *                 "reference_sites_per_sec": R,
+ *                 "table_sites_per_sec": T,
+ *                 "table_build_seconds": B, "speedup": X}, ...]}
+ *
+ * Usage:
+ *   bench_fast_sweep [sizes-csv] [labels-csv] [site-budget]
+ * Defaults: sizes 128,512,1024; labels 2,8,16,49; budget 2000000
+ * (every measurement runs ceil(budget / size^2) full sweeps).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_meta.h"
+#include "core/types.h"
+#include "mrf/fast_sweep.h"
+#include "mrf/gibbs.h"
+#include "mrf/grid_mrf.h"
+
+namespace {
+
+/**
+ * Deterministic data terms with the same per-call cost shape as the
+ * vision models (a few integer ops), valid for any M <= 64. The
+ * reference path pays this per candidate per site per sweep through
+ * the virtual calls; the table path precomputes it once.
+ */
+class BenchModel : public rsu::mrf::SingletonModel
+{
+  public:
+    explicit BenchModel(bool vector) : vector_(vector) {}
+
+    uint8_t
+    data1(int x, int y) const override
+    {
+        return static_cast<uint8_t>((3 * x + 5 * y) & 63);
+    }
+
+    uint8_t
+    data2(int x, int y, rsu::mrf::Label label) const override
+    {
+        if (vector_)
+            return static_cast<uint8_t>(
+                (x + 2 * y + 7 * rsu::core::labelX1(label) +
+                 11 * rsu::core::labelX2(label)) &
+                63);
+        return static_cast<uint8_t>((x + 2 * y + 9 * label) & 63);
+    }
+
+  private:
+    bool vector_;
+};
+
+/** Scalar identity codes for M <= 8, packed vector codes above. */
+rsu::mrf::MrfConfig
+benchConfig(int size, int m)
+{
+    rsu::mrf::MrfConfig config;
+    config.width = size;
+    config.height = size;
+    config.num_labels = m;
+    config.temperature = 8.0;
+    config.energy.doubleton_weight = 2;
+    if (m > 8) {
+        config.energy.mode = rsu::core::LabelMode::Vector;
+        for (int i = 0; i < m; ++i)
+            config.label_codes.push_back(
+                rsu::core::packVectorLabel(i % 8, i / 8));
+    }
+    return config;
+}
+
+std::vector<int>
+parseCsv(const char *arg)
+{
+    std::vector<int> values;
+    std::string token;
+    for (const char *c = arg;; ++c) {
+        if (*c == ',' || *c == '\0') {
+            if (!token.empty())
+                values.push_back(std::atoi(token.c_str()));
+            token.clear();
+            if (*c == '\0')
+                break;
+        } else {
+            token += *c;
+        }
+    }
+    return values;
+}
+
+struct Row
+{
+    int size;
+    int labels;
+    int sweeps;
+    double reference_sites_per_sec;
+    double table_sites_per_sec;
+    double table_build_seconds;
+    double speedup;
+};
+
+double
+seconds(const std::chrono::steady_clock::time_point &start)
+{
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+/** Sites/sec of one sampler path over `sweeps` full sweeps. */
+double
+measure(rsu::mrf::GridMrf &mrf, rsu::mrf::SweepPath path,
+        int sweeps)
+{
+    mrf.initializeMaximumLikelihood();
+    rsu::mrf::GibbsSampler sampler(
+        mrf, 1234, rsu::mrf::Schedule::Checkerboard, path);
+    sampler.sweep(); // warm-up: page in, prime caches
+
+    const auto start = std::chrono::steady_clock::now();
+    sampler.run(sweeps);
+    const double elapsed = seconds(start);
+    return static_cast<double>(sweeps) * mrf.size() / elapsed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rsu;
+
+    std::vector<int> sizes = {128, 512, 1024};
+    std::vector<int> labels = {2, 8, 16, 49};
+    long budget = 2'000'000;
+    if (argc > 1)
+        sizes = parseCsv(argv[1]);
+    if (argc > 2)
+        labels = parseCsv(argv[2]);
+    if (argc > 3)
+        budget = std::atol(argv[3]);
+
+    const auto all_positive = [](const std::vector<int> &values) {
+        if (values.empty())
+            return false;
+        for (const int v : values)
+            if (v < 1)
+                return false;
+        return true;
+    };
+    if (!all_positive(sizes) || !all_positive(labels) ||
+        budget < 1) {
+        std::fprintf(stderr,
+                     "usage: %s [sizes-csv] [labels-csv] "
+                     "[site-budget]\n"
+                     "sizes must be positive, labels in [2, 64], "
+                     "budget >= 1\n",
+                     argv[0]);
+        return 2;
+    }
+    for (const int m : labels) {
+        if (m < 2 || m > 64) {
+            std::fprintf(stderr, "labels must be in [2, 64]\n");
+            return 2;
+        }
+    }
+
+    bench::warnIfNotRelease();
+    std::printf("software Gibbs: reference vs table-driven fast "
+                "path (%s build, %u hardware thread(s))\n\n",
+                bench::buildType(), bench::hardwareConcurrency());
+    std::printf("%8s %8s %7s %16s %16s %11s %9s\n", "size",
+                "labels", "sweeps", "ref sites/sec", "table "
+                "sites/sec", "build(s)", "speedup");
+
+    std::vector<Row> rows;
+    for (const int size : sizes) {
+        for (const int m : labels) {
+            const BenchModel model(m > 8);
+            const auto config = benchConfig(size, m);
+
+            const long sites = static_cast<long>(size) * size;
+            const int sweeps = static_cast<int>(
+                std::max(1L, (budget + sites - 1) / sites));
+
+            mrf::GridMrf ref_mrf(config, model);
+            const double ref_rate = measure(
+                ref_mrf, mrf::SweepPath::Reference, sweeps);
+
+            // Table construction cost, reported separately: it is
+            // a one-time per-model cost the sweep rate amortizes.
+            mrf::GridMrf fast_mrf(config, model);
+            const auto build_start =
+                std::chrono::steady_clock::now();
+            {
+                mrf::SweepTables tables(fast_mrf);
+            }
+            const double build_seconds = seconds(build_start);
+            const double table_rate = measure(
+                fast_mrf, mrf::SweepPath::Table, sweeps);
+
+            const double speedup = table_rate / ref_rate;
+            rows.push_back({size, m, sweeps, ref_rate, table_rate,
+                            build_seconds, speedup});
+            std::printf(
+                "%8d %8d %7d %16.0f %16.0f %11.4f %8.2fx\n", size,
+                m, sweeps, ref_rate, table_rate, build_seconds,
+                speedup);
+        }
+    }
+
+    FILE *json = std::fopen("BENCH_fast_sweep.json", "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write BENCH_fast_sweep.json\n");
+        return 1;
+    }
+    std::fprintf(json, "{\n  \"benchmark\": \"fast_sweep\",\n");
+    bench::writeMetaJson(json);
+    std::fprintf(json, "  \"results\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            json,
+            "    {\"size\": %d, \"labels\": %d, \"sweeps\": %d, "
+            "\"reference_sites_per_sec\": %.1f, "
+            "\"table_sites_per_sec\": %.1f, "
+            "\"table_build_seconds\": %.6f, \"speedup\": %.3f}%s\n",
+            r.size, r.labels, r.sweeps, r.reference_sites_per_sec,
+            r.table_sites_per_sec, r.table_build_seconds, r.speedup,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_fast_sweep.json (%zu rows)\n",
+                rows.size());
+    return 0;
+}

@@ -14,6 +14,9 @@
  *                 "sweeps_per_sec": R, "speedup": X}, ...]}
  * where speedup is relative to the 1-thread row of the same size.
  *
+ * The JSON also carries the shared "metadata" object (hardware
+ * concurrency, build type, compiler flags) from bench_meta.h.
+ *
  * Usage:
  *   bench_runtime_scaling [sizes-csv] [threads-csv] [labels]
  * Defaults: sizes 128,512,1024; threads 1,2,4,8; labels 8.
@@ -27,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.h"
 #include "mrf/grid_mrf.h"
 #include "rng/xoshiro256.h"
 #include "runtime/chromatic_sampler.h"
@@ -100,6 +104,7 @@ main(int argc, char **argv)
         return 2;
     }
 
+    bench::warnIfNotRelease();
     const int hardware = runtime::ThreadPool::hardwareThreads();
     std::printf("chromatic runtime scaling — software Gibbs, %d "
                 "labels, %d hardware thread(s)\n\n",
@@ -153,8 +158,9 @@ main(int argc, char **argv)
                      "cannot write BENCH_runtime_scaling.json\n");
         return 1;
     }
+    std::fprintf(json, "{\n  \"benchmark\": \"runtime_scaling\",\n");
+    bench::writeMetaJson(json);
     std::fprintf(json,
-                 "{\n  \"benchmark\": \"runtime_scaling\",\n"
                  "  \"labels\": %d,\n"
                  "  \"hardware_threads\": %d,\n"
                  "  \"results\": [\n",

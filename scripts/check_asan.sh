@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Rebuild the mrf/runtime-labelled tests under AddressSanitizer +
+# UndefinedBehaviorSanitizer and run them. The table-driven fast
+# sweep kernels index precomputed arrays with raw site/label
+# arithmetic; this build polices those accesses. Kept out of the
+# default (tier-1) build so `ctest` stays fast; run this script
+# directly, or configure the main build with -DRSU_ASAN_CHECK=ON to
+# register it as a CTest test labelled "asan".
+#
+# Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${SOURCE_DIR}/build-asan}"
+
+cmake -B "${BUILD_DIR}" -S "${SOURCE_DIR}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "${BUILD_DIR}" -j \
+    --target mrf_test runtime_test fast_sweep_test
+
+# Only the labelled (mrf + runtime) tests: the sampler kernels, the
+# lookup tables, and the chromatic executor that drives them.
+ctest --test-dir "${BUILD_DIR}" -L 'runtime|mrf' \
+    --output-on-failure -j "$(nproc)"
+
+echo "Address/UB sanitizer check passed."

@@ -1,0 +1,54 @@
+#include "core/tables.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsu::core {
+
+int
+SingletonTable::argminRow(int site) const
+{
+    const uint16_t *r = row(site);
+    int best = 0;
+    uint16_t best_e = r[0];
+    for (int i = 1; i < num_labels_; ++i) {
+        if (r[i] < best_e) {
+            best_e = r[i];
+            best = i;
+        }
+    }
+    return best;
+}
+
+DoubletonTable::DoubletonTable(const EnergyUnit &unit,
+                               const std::vector<Label> &codes)
+    : num_candidates_(static_cast<int>(codes.size())),
+      rows_(codes.size() * kMaxLabels)
+{
+    if (codes.empty())
+        throw std::invalid_argument("DoubletonTable: no candidates");
+    for (int i = 0; i < num_candidates_; ++i) {
+        int32_t *r = rows_.data() +
+                     static_cast<size_t>(i) * kMaxLabels;
+        for (int c = 0; c < kMaxLabels; ++c)
+            r[c] = unit.doubleton(codes[i], static_cast<Label>(c));
+    }
+}
+
+void
+ExpTable::rebuild(double temperature, uint64_t version)
+{
+    if (temperature <= 0.0)
+        throw std::invalid_argument("ExpTable: temperature must be "
+                                    "positive");
+    values_.resize(kEnergyMax + 1);
+    // The exact expression GibbsSampler::updateSiteWith evaluates
+    // per candidate: identical input double -> identical output
+    // bits, which is what makes the fast path bit-exact.
+    for (int e = 0; e <= kEnergyMax; ++e)
+        values_[e] = std::exp(-static_cast<double>(e) / temperature);
+    temperature_ = temperature;
+    version_ = version;
+}
+
+} // namespace rsu::core

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Precomputed lookup tables for the table-driven fast sweep path.
+ *
+ * The software Gibbs reference pays, per candidate evaluation, a
+ * virtual SingletonModel::data2() call, a branchy
+ * EnergyUnit::evaluate(), and a std::exp(). All three are pure
+ * functions of tiny static domains — the singleton data of a fixed
+ * model, the 64 x 64 label-code pairs, and the 256 possible 8-bit
+ * energies at one temperature — so each can be precomputed once and
+ * turned into a load. Because every energy in the system is an exact
+ * integer, the lookups reproduce the reference computation
+ * *bit-identically*: same integer energy in, same double weight out
+ * (the exp table stores the very doubles std::exp would have
+ * returned), same discrete draw from the same RNG state.
+ *
+ * These classes are model-agnostic: they depend only on the energy
+ * datapath and plain fill callables, so the core layer stays free of
+ * MRF types. mrf::SweepTables bundles them for a GridMrf.
+ */
+
+#ifndef RSU_CORE_TABLES_H
+#define RSU_CORE_TABLES_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/energy_unit.h"
+#include "core/types.h"
+
+namespace rsu::core {
+
+/**
+ * Per-site x per-candidate singleton clique energies.
+ *
+ * Row layout is site-major: row(site) is numLabels() consecutive
+ * entries, one per candidate index. Entries are the *exact* integer
+ * EnergyUnit::singleton() values (6-bit data squared differences
+ * reach 3969 before the configured shift, so entries are 16-bit,
+ * not 8). Memory: 2 * width * height * num_labels bytes.
+ */
+class SingletonTable
+{
+  public:
+    /**
+     * Precompute every entry by calling @p energy(x, y, candidate)
+     * once per (site, candidate). The callable must return the
+     * non-negative integer singleton energy (fits in 16 bits).
+     */
+    template <typename Fn>
+    SingletonTable(int width, int height, int num_labels, Fn &&energy)
+        : width_(width), height_(height), num_labels_(num_labels),
+          entries_(static_cast<size_t>(width) * height * num_labels)
+    {
+        size_t at = 0;
+        for (int y = 0; y < height; ++y) {
+            for (int x = 0; x < width; ++x) {
+                for (int i = 0; i < num_labels; ++i) {
+                    const int e = energy(x, y, i);
+                    assert(e >= 0 && e <= 0xffff);
+                    entries_[at++] = static_cast<uint16_t>(e);
+                }
+            }
+        }
+    }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int numLabels() const { return num_labels_; }
+
+    /** Candidate energies of @p site (numLabels() entries). */
+    const uint16_t *
+    row(int site) const
+    {
+        return entries_.data() +
+               static_cast<size_t>(site) * num_labels_;
+    }
+
+    uint16_t at(int site, int candidate) const
+    {
+        return row(site)[candidate];
+    }
+
+    /**
+     * Candidate index with the smallest singleton energy at
+     * @p site; ties resolve to the lowest index, matching a
+     * strict-less scan.
+     */
+    int argminRow(int site) const;
+
+  private:
+    int width_;
+    int height_;
+    int num_labels_;
+    std::vector<uint16_t> entries_;
+};
+
+/**
+ * Candidate-index x neighbour-code doubleton distances.
+ *
+ * Row i holds EnergyUnit::doubleton(codes[i], c) for every 6-bit
+ * neighbour code c — mode, weight, and cap are baked in. At most
+ * 64 x 64 ints (16 KiB), so the whole table lives in L1.
+ */
+class DoubletonTable
+{
+  public:
+    DoubletonTable(const EnergyUnit &unit,
+                   const std::vector<Label> &codes);
+
+    int numCandidates() const { return num_candidates_; }
+
+    /** Distances from candidate @p i to every neighbour code. */
+    const int32_t *
+    row(int candidate) const
+    {
+        return rows_.data() +
+               static_cast<size_t>(candidate) * kMaxLabels;
+    }
+
+    int32_t at(int candidate, Label neighbor_code) const
+    {
+        return row(candidate)[neighbor_code & kLabelMask];
+    }
+
+  private:
+    int num_candidates_;
+    std::vector<int32_t> rows_; // numCandidates x kMaxLabels
+};
+
+/**
+ * exp(-e / T) for every 8-bit energy e at one temperature.
+ *
+ * Entries are computed with the exact expression the reference
+ * sampler uses — std::exp(-double(e) / T) — so a lookup returns a
+ * bit-identical double. The owner keys the table to a temperature
+ * *version* (GridMrf bumps its version in setTemperature()) so
+ * annealing invalidates cached tables automatically; rebuild() is
+ * cheap (256 exp calls) and must be called from a single thread
+ * between sweeps.
+ */
+class ExpTable
+{
+  public:
+    /** Recompute all entries for @p temperature, stamping
+     * @p version. */
+    void rebuild(double temperature, uint64_t version);
+
+    bool built() const { return !values_.empty(); }
+    uint64_t version() const { return version_; }
+    double temperature() const { return temperature_; }
+
+    /** The 256-entry weight table (index = 8-bit energy). */
+    const double *data() const { return values_.data(); }
+
+    double
+    at(int energy) const
+    {
+        assert(energy >= 0 && energy <= kEnergyMax);
+        return values_[energy];
+    }
+
+  private:
+    std::vector<double> values_;
+    double temperature_ = 0.0;
+    uint64_t version_ = 0;
+};
+
+/**
+ * Per-site x per-candidate staged singleton data2 bytes.
+ *
+ * The RSU path transfers raw data2 operands (not energies) to the
+ * device, so its staging table stores the model's data2 bytes; a
+ * row can be handed to RsuG::sample() directly, eliminating the
+ * per-site virtual data2() calls without copying.
+ */
+class Data2Table
+{
+  public:
+    /** Precompute via @p data2(x, y, candidate) -> uint8_t. */
+    template <typename Fn>
+    Data2Table(int width, int height, int num_labels, Fn &&data2)
+        : num_labels_(num_labels),
+          entries_(static_cast<size_t>(width) * height * num_labels)
+    {
+        size_t at = 0;
+        for (int y = 0; y < height; ++y)
+            for (int x = 0; x < width; ++x)
+                for (int i = 0; i < num_labels; ++i)
+                    entries_[at++] =
+                        static_cast<uint8_t>(data2(x, y, i));
+    }
+
+    int numLabels() const { return num_labels_; }
+
+    /** Candidate data2 bytes of @p site (numLabels() entries). */
+    const uint8_t *
+    row(int site) const
+    {
+        return entries_.data() +
+               static_cast<size_t>(site) * num_labels_;
+    }
+
+  private:
+    int num_labels_;
+    std::vector<uint8_t> entries_;
+};
+
+} // namespace rsu::core
+
+#endif // RSU_CORE_TABLES_H

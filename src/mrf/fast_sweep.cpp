@@ -1,0 +1,112 @@
+#include "mrf/fast_sweep.h"
+
+#include <cassert>
+
+#include "rng/discrete.h"
+
+namespace rsu::mrf {
+
+using rsu::core::kEnergyMax;
+using rsu::core::kLabelMask;
+
+SweepTables::SweepTables(const GridMrf &mrf)
+    : mrf_(&mrf), width_(mrf.width()), height_(mrf.height()),
+      num_labels_(mrf.numLabels()), codes_(mrf.labelCodes()),
+      singleton_(mrf.buildSingletonTable()),
+      doubleton_(mrf.energyUnit(), mrf.labelCodes())
+{
+    sync();
+}
+
+void
+SweepTables::sync()
+{
+    if (exp_.built() &&
+        exp_.version() == mrf_->temperatureVersion())
+        return;
+    exp_.rebuild(mrf_->temperature(), mrf_->temperatureVersion());
+}
+
+Label
+SweepTables::updateInterior(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
+                            double *weights, SamplerWork &work,
+                            int x, int y) const
+{
+    assert(&mrf == mrf_);
+    assert(x > 0 && x < width_ - 1 && y > 0 && y < height_ - 1);
+
+    const int site = y * width_ + x;
+    const Label *labels = mrf.labels().data();
+    const int n0 = labels[site - width_] & kLabelMask;
+    const int n1 = labels[site + width_] & kLabelMask;
+    const int n2 = labels[site - 1] & kLabelMask;
+    const int n3 = labels[site + 1] & kLabelMask;
+
+    const uint16_t *s = singleton_.row(site);
+    const double *et = exp_.data();
+    const int m = num_labels_;
+    for (int i = 0; i < m; ++i) {
+        const int32_t *d = doubleton_.row(i);
+        int e = s[i] + d[n0] + d[n1] + d[n2] + d[n3];
+        e = e < kEnergyMax ? e : kEnergyMax;
+        weights[i] = et[e];
+    }
+    // Logical baseline costs: the timing models charge the m
+    // conditional-energy computations and m transcendentals this
+    // site *represents*, not the loads that realized them.
+    work.energy_evals += m;
+    work.exp_calls += m;
+
+    const int choice = rsu::rng::sampleDiscreteLinear(rng, weights, m);
+    ++work.random_draws;
+    ++work.site_updates;
+
+    const Label l = codes_[choice];
+    mrf.setLabel(x, y, l);
+    return l;
+}
+
+Label
+SweepTables::updateBorder(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
+                          double *weights, SamplerWork &work, int x,
+                          int y) const
+{
+    assert(&mrf == mrf_);
+
+    const int site = y * width_ + x;
+    const Label *labels = mrf.labels().data();
+    int n[4];
+    int valid = 0;
+    if (y > 0)
+        n[valid++] = labels[site - width_] & kLabelMask;
+    if (y + 1 < height_)
+        n[valid++] = labels[site + width_] & kLabelMask;
+    if (x > 0)
+        n[valid++] = labels[site - 1] & kLabelMask;
+    if (x + 1 < width_)
+        n[valid++] = labels[site + 1] & kLabelMask;
+
+    const uint16_t *s = singleton_.row(site);
+    const double *et = exp_.data();
+    const int m = num_labels_;
+    for (int i = 0; i < m; ++i) {
+        const int32_t *d = doubleton_.row(i);
+        int e = s[i];
+        for (int k = 0; k < valid; ++k)
+            e += d[n[k]];
+        e = e < kEnergyMax ? e : kEnergyMax;
+        weights[i] = et[e];
+    }
+    work.energy_evals += m;
+    work.exp_calls += m;
+
+    const int choice = rsu::rng::sampleDiscreteLinear(rng, weights, m);
+    ++work.random_draws;
+    ++work.site_updates;
+
+    const Label l = codes_[choice];
+    mrf.setLabel(x, y, l);
+    return l;
+}
+
+} // namespace rsu::mrf

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Table-driven fast sweep path over a GridMrf.
+ *
+ * Bundles the three core lookup tables for one model —
+ * SingletonTable (per-site candidate energies), DoubletonTable
+ * (candidate x neighbour-code distances), ExpTable (exp(-e/T) per
+ * 8-bit energy) — and provides the site-update kernels the fast
+ * sweep runs on them. The kernels are *bit-identical* to
+ * GibbsSampler::updateSiteWith: energies are exact integers, so
+ * table lookups reproduce the reference sums exactly, the exp table
+ * stores the very doubles std::exp would return, and the discrete
+ * draw consumes the RNG identically. Any (seed, schedule, shard
+ * count, temperature schedule) therefore produces the same label
+ * field on either path — the correctness contract
+ * tests/fast_sweep_test.cpp enforces.
+ *
+ * Two kernels implement the interior/border sweep split
+ * (mrf::forEachSiteSplit): updateInterior() assumes all four
+ * neighbours exist and runs a branch-free accumulation over the
+ * candidates; updateBorder() keeps the validity checks. The split
+ * iteration preserves the schedule's visit order, so the split never
+ * changes results — only removes branches from the hot loop.
+ *
+ * Sharing: a SweepTables is immutable during sweeps and may be read
+ * by any number of runtime shards concurrently. sync() — which
+ * rebuilds the exp table when the model's temperatureVersion() has
+ * moved (annealing) — must be called from one thread between
+ * sweeps; the sequential and chromatic samplers both do this at
+ * sweep start.
+ *
+ * SamplerWork counters record the *logical* baseline costs (m
+ * energy evaluations and m exp calls per site) even though the fast
+ * path replaces them with loads: the architecture models cost the
+ * paper's straightforward-MCMC baseline, and that workload is
+ * unchanged — only our software realization of it got faster.
+ */
+
+#ifndef RSU_MRF_FAST_SWEEP_H
+#define RSU_MRF_FAST_SWEEP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tables.h"
+#include "mrf/gibbs.h"
+#include "mrf/grid_mrf.h"
+#include "rng/xoshiro256.h"
+
+namespace rsu::mrf {
+
+/** Precomputed tables + kernels for one GridMrf's fast sweeps. */
+class SweepTables
+{
+  public:
+    /**
+     * Build all tables for @p mrf (one full scan of the static
+     * singleton model; the model must not change afterwards). Holds
+     * a reference to @p mrf for temperature synchronization — the
+     * model must outlive the tables.
+     */
+    explicit SweepTables(const GridMrf &mrf);
+
+    /**
+     * Rebuild the exp table if the model's temperature changed
+     * since the last sync (keyed to GridMrf::temperatureVersion()).
+     * Call from a single thread between sweeps; cheap no-op when
+     * the temperature is unchanged.
+     */
+    void sync();
+
+    /**
+     * Resample lattice-interior site (x, y) — all four neighbours
+     * must exist. Branch-free candidate loop: five table loads and
+     * an add per candidate. Bit-identical to
+     * GibbsSampler::updateSiteWith.
+     */
+    Label updateInterior(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
+                         double *weights, SamplerWork &work, int x,
+                         int y) const;
+
+    /**
+     * Resample any site, checking neighbour validity — the border
+     * complement of updateInterior (also correct for interior
+     * sites, just slower).
+     */
+    Label updateBorder(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
+                       double *weights, SamplerWork &work, int x,
+                       int y) const;
+
+    /** updateInterior/updateBorder dispatch on the coordinates. */
+    Label
+    updateSite(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
+               double *weights, SamplerWork &work, int x, int y) const
+    {
+        const bool interior = x > 0 && x < width_ - 1 && y > 0 &&
+                              y < height_ - 1;
+        return interior
+                   ? updateInterior(mrf, rng, weights, work, x, y)
+                   : updateBorder(mrf, rng, weights, work, x, y);
+    }
+
+    const rsu::core::SingletonTable &
+    singletonTable() const
+    {
+        return singleton_;
+    }
+    const rsu::core::DoubletonTable &
+    doubletonTable() const
+    {
+        return doubleton_;
+    }
+    const rsu::core::ExpTable &expTable() const { return exp_; }
+
+  private:
+    const GridMrf *mrf_;
+    int width_;
+    int height_;
+    int num_labels_;
+    std::vector<Label> codes_; // candidate index -> code
+    rsu::core::SingletonTable singleton_;
+    rsu::core::DoubletonTable doubleton_;
+    rsu::core::ExpTable exp_;
+};
+
+} // namespace rsu::mrf
+
+#endif // RSU_MRF_FAST_SWEEP_H

@@ -2,16 +2,22 @@
 
 #include <cmath>
 
+#include "mrf/fast_sweep.h"
 #include "rng/discrete.h"
 
 namespace rsu::mrf {
 
 GibbsSampler::GibbsSampler(GridMrf &mrf, uint64_t seed,
-                           Schedule schedule)
-    : mrf_(mrf), rng_(seed), schedule_(schedule),
+                           Schedule schedule, SweepPath path)
+    : mrf_(mrf), rng_(seed), schedule_(schedule), path_(path),
       weights_(mrf.numLabels())
 {
+    if (path_ == SweepPath::Table)
+        tables_ = std::make_unique<SweepTables>(mrf_);
 }
+
+GibbsSampler::~GibbsSampler() = default;
+GibbsSampler::GibbsSampler(GibbsSampler &&) noexcept = default;
 
 Label
 GibbsSampler::updateSiteWith(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
@@ -42,12 +48,31 @@ GibbsSampler::updateSiteWith(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
 Label
 GibbsSampler::updateSite(int x, int y)
 {
+    if (tables_) {
+        tables_->sync();
+        return tables_->updateSite(mrf_, rng_, weights_.data(),
+                                   work_, x, y);
+    }
     return updateSiteWith(mrf_, rng_, weights_.data(), work_, x, y);
 }
 
 void
 GibbsSampler::sweep()
 {
+    if (tables_) {
+        tables_->sync();
+        forEachSiteSplit(
+            mrf_.width(), mrf_.height(), schedule_,
+            [this](int x, int y) {
+                tables_->updateInterior(mrf_, rng_, weights_.data(),
+                                        work_, x, y);
+            },
+            [this](int x, int y) {
+                tables_->updateBorder(mrf_, rng_, weights_.data(),
+                                      work_, x, y);
+            });
+        return;
+    }
     forEachSite(mrf_.width(), mrf_.height(), schedule_,
                 [this](int x, int y) { updateSite(x, y); });
 }
@@ -57,6 +82,12 @@ GibbsSampler::run(int n)
 {
     for (int i = 0; i < n; ++i)
         sweep();
+}
+
+void
+GibbsSampler::setTemperature(double t)
+{
+    mrf_.setTemperature(t);
 }
 
 } // namespace rsu::mrf

@@ -17,6 +17,7 @@
 #define RSU_MRF_GIBBS_H
 
 #include <cstdint>
+#include <memory>
 
 #include "mrf/grid_mrf.h"
 #include "mrf/schedule.h"
@@ -24,13 +25,25 @@
 
 namespace rsu::mrf {
 
-/** Work performed by a sampler (inputs to the timing models). */
+class SweepTables;
+
+/** Work performed by a sampler (inputs to the timing models).
+ * Counts are *logical* baseline operations: the table-driven fast
+ * path reports the same energy_evals/exp_calls as the reference
+ * path it bit-matches, so the architecture cost models see one
+ * workload regardless of which software realization ran. */
 struct SamplerWork
 {
     uint64_t site_updates = 0;
     uint64_t energy_evals = 0;  //!< per-candidate energy computations
     uint64_t exp_calls = 0;     //!< transcendental evaluations
     uint64_t random_draws = 0;  //!< uniform variates consumed
+};
+
+/** Which software realization of the Gibbs inner loop to run. */
+enum class SweepPath {
+    Reference, //!< virtual data2 + EnergyUnit + std::exp per candidate
+    Table,     //!< precomputed tables, bit-identical results (fast)
 };
 
 /** Exact full-conditional Gibbs sweeps over a GridMrf. */
@@ -41,9 +54,18 @@ class GibbsSampler
      * @param mrf model to sample (state is mutated in place)
      * @param seed entropy seed
      * @param schedule site visit order
+     * @param path Reference recomputes every conditional from the
+     *        model; Table precomputes SweepTables once and sweeps
+     *        through lookups — bit-identical results, several times
+     *        faster. Table assumes the singleton model is static.
      */
     GibbsSampler(GridMrf &mrf, uint64_t seed,
-                 Schedule schedule = Schedule::Checkerboard);
+                 Schedule schedule = Schedule::Checkerboard,
+                 SweepPath path = SweepPath::Reference);
+    ~GibbsSampler();
+
+    GibbsSampler(GibbsSampler &&) noexcept;
+    GibbsSampler &operator=(GibbsSampler &&) = delete;
 
     /** Resample one site from its full conditional. */
     Label updateSite(int x, int y);
@@ -68,6 +90,18 @@ class GibbsSampler
     /** Run @p n sweeps. */
     void run(int n);
 
+    /**
+     * Install a new Gibbs temperature (simulated annealing).
+     * Forwards to GridMrf::setTemperature; the version bump makes
+     * the Table path rebuild its exp table at the next update.
+     */
+    void setTemperature(double t);
+
+    SweepPath path() const { return path_; }
+
+    /** The fast path's tables (nullptr on the Reference path). */
+    const SweepTables *tables() const { return tables_.get(); }
+
     const SamplerWork &work() const { return work_; }
     rsu::rng::Xoshiro256 &rng() { return rng_; }
 
@@ -75,8 +109,10 @@ class GibbsSampler
     GridMrf &mrf_;
     rsu::rng::Xoshiro256 rng_;
     Schedule schedule_;
+    SweepPath path_;
     SamplerWork work_;
     std::vector<double> weights_; // scratch, sized num_labels
+    std::unique_ptr<SweepTables> tables_; // Table path only
 };
 
 } // namespace rsu::mrf

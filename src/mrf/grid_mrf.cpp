@@ -66,28 +66,45 @@ GridMrf::setTemperature(double t)
         throw std::invalid_argument("GridMrf: temperature must be "
                                     "positive");
     config_.temperature = t;
+    ++temperature_version_;
+}
+
+rsu::core::SingletonTable
+GridMrf::buildSingletonTable() const
+{
+    return rsu::core::SingletonTable(
+        width(), height(), numLabels(), [this](int x, int y, int i) {
+            return energy_unit_.singleton(
+                singleton_.data1(x, y),
+                singleton_.data2(x, y, codes_[i]));
+        });
+}
+
+rsu::core::Data2Table
+GridMrf::buildData2Table() const
+{
+    return rsu::core::Data2Table(
+        width(), height(), numLabels(), [this](int x, int y, int i) {
+            return singleton_.data2(x, y, codes_[i]);
+        });
 }
 
 void
 GridMrf::initializeMaximumLikelihood()
 {
-    for (int y = 0; y < height(); ++y) {
-        for (int x = 0; x < width(); ++x) {
-            const uint8_t d1 = singleton_.data1(x, y);
-            int best = 0;
-            int best_e = energy_unit_.singleton(
-                d1, singleton_.data2(x, y, codes_[0]));
-            for (int i = 1; i < numLabels(); ++i) {
-                const int e = energy_unit_.singleton(
-                    d1, singleton_.data2(x, y, codes_[i]));
-                if (e < best_e) {
-                    best_e = e;
-                    best = i;
-                }
-            }
-            setLabel(x, y, codes_[best]);
-        }
-    }
+    initializeMaximumLikelihood(buildSingletonTable());
+}
+
+void
+GridMrf::initializeMaximumLikelihood(
+    const rsu::core::SingletonTable &table)
+{
+    if (table.width() != width() || table.height() != height() ||
+        table.numLabels() != numLabels())
+        throw std::invalid_argument("GridMrf: singleton table shape "
+                                    "mismatch");
+    for (int site = 0; site < size(); ++site)
+        labels_[site] = codes_[table.argminRow(site)];
 }
 
 void

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/energy_unit.h"
+#include "core/tables.h"
 #include "core/types.h"
 #include "rng/xoshiro256.h"
 
@@ -116,8 +117,18 @@ class GridMrf
 
     /** Change the Gibbs temperature (simulated annealing). RSU
      * samplers must rebuild their intensity map afterwards; use
-     * RsuGibbsSampler::setTemperature, which does both. */
+     * RsuGibbsSampler::setTemperature, which does both. Bumps
+     * temperatureVersion() so table-driven caches (SweepTables'
+     * ExpTable) invalidate automatically. */
     void setTemperature(double t);
+
+    /**
+     * Counter incremented by every setTemperature() call.
+     * Temperature-dependent caches key their contents to this value
+     * and rebuild when it moves — how annealing invalidates the
+     * fast path's exp table without any explicit notification.
+     */
+    uint64_t temperatureVersion() const { return temperature_version_; }
     const MrfConfig &config() const { return config_; }
     const EnergyUnit &energyUnit() const { return energy_unit_; }
     const SingletonModel &singleton() const { return singleton_; }
@@ -151,6 +162,33 @@ class GridMrf
      * sweep (see EnergyInputs::energy_offset).
      */
     void initializeMaximumLikelihood();
+
+    /**
+     * initializeMaximumLikelihood() against an already-built
+     * singleton-energy table (same result; skips recomputing the
+     * model's energies). The table must have been built for this
+     * model — SweepTables::singletonTable() qualifies.
+     */
+    void
+    initializeMaximumLikelihood(const rsu::core::SingletonTable &table);
+
+    /**
+     * Per-site x per-candidate singleton-energy table for this
+     * model: entry (site, i) is
+     * energyUnit().singleton(data1(x, y), data2(x, y, codeOf(i))).
+     * Built once per call by scanning the static SingletonModel;
+     * the table-driven sweep path and ML initialization share it.
+     */
+    rsu::core::SingletonTable buildSingletonTable() const;
+
+    /**
+     * Per-site x per-candidate staged data2 bytes (what data2At()
+     * fills, for every site at once). The RSU samplers hand table
+     * rows straight to the device, removing the per-site virtual
+     * data2() calls from their sweeps. Assumes the singleton model
+     * is static.
+     */
+    rsu::core::Data2Table buildData2Table() const;
 
     /** Bulk-load a labelling (size must match). */
     void setLabels(const std::vector<Label> &labels);
@@ -205,6 +243,7 @@ class GridMrf
     std::vector<Label> labels_;        // current codes per site
     std::vector<Label> codes_;         // index -> code
     std::vector<int> code_to_index_;   // code -> index or -1
+    uint64_t temperature_version_ = 0; // ++ per setTemperature()
 };
 
 } // namespace rsu::mrf

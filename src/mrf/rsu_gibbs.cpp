@@ -12,7 +12,7 @@ using rsu::core::RsuReg;
 RsuGibbsSampler::RsuGibbsSampler(GridMrf &mrf, rsu::core::RsuG &unit,
                                  Schedule schedule, Mode mode)
     : mrf_(mrf), unit_(unit), device_(unit), schedule_(schedule),
-      mode_(mode), data2_(mrf.numLabels())
+      mode_(mode), data2_(mrf.buildData2Table())
 {
     if (!(unit_.config().energy == mrf_.config().energy))
         throw std::invalid_argument(
@@ -50,14 +50,31 @@ RsuGibbsSampler::updateSiteWith(GridMrf &mrf, rsu::core::RsuG &unit,
 }
 
 Label
+RsuGibbsSampler::updateSiteWith(GridMrf &mrf, rsu::core::RsuG &unit,
+                                const rsu::core::Data2Table &staged,
+                                SamplerWork &work, int x, int y)
+{
+    const EnergyInputs in = mrf.referencedInputsAt(x, y);
+
+    const Label l = unit.sample(in, staged.row(mrf.index(x, y)));
+
+    work.energy_evals += mrf.numLabels();
+    ++work.random_draws;
+    ++work.site_updates;
+
+    mrf.setLabel(x, y, l);
+    return l;
+}
+
+Label
 RsuGibbsSampler::updateSite(int x, int y)
 {
     if (mode_ == Mode::Direct)
-        return updateSiteWith(mrf_, unit_, data2_.data(), work_, x, y);
+        return updateSiteWith(mrf_, unit_, data2_, work_, x, y);
 
     const int m = mrf_.numLabels();
     const EnergyInputs in = mrf_.referencedInputsAt(x, y);
-    mrf_.data2At(x, y, data2_.data());
+    const uint8_t *data2 = data2_.row(mrf_.index(x, y));
 
     Label l;
     {
@@ -69,11 +86,11 @@ RsuGibbsSampler::updateSite(int x, int y)
             for (int base = 0; base < m; base += 8) {
                 const int count = std::min(8, m - base);
                 device_.write(RsuReg::SingletonD,
-                              packSingletonD(&data2_[base], count));
+                              packSingletonD(&data2[base], count));
             }
         } else {
             device_.write(RsuReg::SingletonD,
-                          packSingletonD(&data2_[0], 1));
+                          packSingletonD(&data2[0], 1));
         }
         l = device_.readResult().label;
     }

@@ -75,6 +75,18 @@ class RsuGibbsSampler
                                 uint8_t *data2, SamplerWork &work,
                                 int x, int y);
 
+    /**
+     * updateSiteWith() against staged data2: the site's candidate
+     * operands come from a precomputed Data2Table row (built once
+     * by GridMrf::buildData2Table()) instead of per-site virtual
+     * data2() calls — zero-copy, identical operand values, so
+     * results are bit-identical. Both this sampler and the
+     * chromatic runtime stage their sweeps this way.
+     */
+    static Label updateSiteWith(GridMrf &mrf, rsu::core::RsuG &unit,
+                                const rsu::core::Data2Table &staged,
+                                SamplerWork &work, int x, int y);
+
     /** One MCMC iteration: every site updated once. */
     void sweep();
 
@@ -101,7 +113,7 @@ class RsuGibbsSampler
     Schedule schedule_;
     Mode mode_;
     SamplerWork work_;
-    std::vector<uint8_t> data2_; // scratch, sized num_labels
+    rsu::core::Data2Table data2_; // staged per-site operands
 };
 
 } // namespace rsu::mrf

@@ -8,8 +8,8 @@ namespace rsu::runtime {
 ChromaticGibbsSampler::ChromaticGibbsSampler(
     rsu::mrf::GridMrf &mrf, ParallelSweepExecutor &executor,
     uint64_t seed, SamplerKind kind,
-    const rsu::core::RsuGConfig &rsu_base)
-    : mrf_(mrf), executor_(executor), kind_(kind),
+    const rsu::core::RsuGConfig &rsu_base, rsu::mrf::SweepPath path)
+    : mrf_(mrf), executor_(executor), kind_(kind), path_(path),
       shards_(executor.shards())
 {
     const int n = executor.shards();
@@ -19,6 +19,9 @@ ChromaticGibbsSampler::ChromaticGibbsSampler(
             shards_[s].rng = streams[s];
             shards_[s].weights.resize(mrf.numLabels());
         }
+        if (path_ == rsu::mrf::SweepPath::Table)
+            tables_ =
+                std::make_unique<rsu::mrf::SweepTables>(mrf);
     } else {
         auto config =
             rsu::mrf::RsuGibbsSampler::unitConfigFor(mrf, rsu_base);
@@ -30,8 +33,9 @@ ChromaticGibbsSampler::ChromaticGibbsSampler(
             shard.unit->initialize(mrf.numLabels(),
                                    mrf.temperature());
             shard.unit->setLabelCodes(mrf.labelCodes());
-            shard.data2.resize(mrf.numLabels());
         }
+        data2_ = std::make_unique<rsu::core::Data2Table>(
+            mrf.buildData2Table());
     }
 }
 
@@ -39,6 +43,27 @@ void
 ChromaticGibbsSampler::sweep()
 {
     if (kind_ == SamplerKind::SoftwareGibbs) {
+        if (tables_) {
+            // Single-threaded before the shards fan out: rebuild
+            // the exp table if annealing moved the temperature.
+            tables_->sync();
+            const rsu::mrf::SweepTables &tables = *tables_;
+            executor_.sweepSplit(
+                mrf_.width(), mrf_.height(),
+                [this, &tables](int s, int x, int y) {
+                    auto &shard = shards_[s];
+                    tables.updateInterior(mrf_, shard.rng,
+                                          shard.weights.data(),
+                                          shard.work, x, y);
+                },
+                [this, &tables](int s, int x, int y) {
+                    auto &shard = shards_[s];
+                    tables.updateBorder(mrf_, shard.rng,
+                                        shard.weights.data(),
+                                        shard.work, x, y);
+                });
+            return;
+        }
         executor_.sweep(
             mrf_.width(), mrf_.height(), [this](int s, int x, int y) {
                 auto &shard = shards_[s];
@@ -47,12 +72,13 @@ ChromaticGibbsSampler::sweep()
                     shard.work, x, y);
             });
     } else {
+        const rsu::core::Data2Table &staged = *data2_;
         executor_.sweep(
-            mrf_.width(), mrf_.height(), [this](int s, int x, int y) {
+            mrf_.width(), mrf_.height(),
+            [this, &staged](int s, int x, int y) {
                 auto &shard = shards_[s];
                 rsu::mrf::RsuGibbsSampler::updateSiteWith(
-                    mrf_, *shard.unit, shard.data2.data(),
-                    shard.work, x, y);
+                    mrf_, *shard.unit, staged, shard.work, x, y);
             });
     }
 }

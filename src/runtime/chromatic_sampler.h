@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "core/rsu_g.h"
+#include "core/tables.h"
+#include "mrf/fast_sweep.h"
 #include "mrf/gibbs.h"
 #include "mrf/grid_mrf.h"
 #include "rng/xoshiro256.h"
@@ -54,12 +56,21 @@ class ChromaticGibbsSampler
      * @param rsu_base RSU-G configuration template for the per-shard
      *        units (RsuGibbs only); the energy datapath is overridden
      *        to match the model's, as RsuGibbsSampler requires
+     * @param path SoftwareGibbs realization: Reference recomputes
+     *        conditionals from the model; Table precomputes one
+     *        SweepTables shared read-only by every shard and sweeps
+     *        through lookups — bit-identical results (see
+     *        mrf/fast_sweep.h), several times faster. Ignored by
+     *        RsuGibbs, whose device path is already table-driven
+     *        (and whose data2 operands are always staged).
      */
     ChromaticGibbsSampler(rsu::mrf::GridMrf &mrf,
                           ParallelSweepExecutor &executor,
                           uint64_t seed,
                           SamplerKind kind = SamplerKind::SoftwareGibbs,
-                          const rsu::core::RsuGConfig &rsu_base = {});
+                          const rsu::core::RsuGConfig &rsu_base = {},
+                          rsu::mrf::SweepPath path =
+                              rsu::mrf::SweepPath::Reference);
 
     /** One MCMC iteration: every site updated once, chromatically. */
     void sweep();
@@ -78,6 +89,7 @@ class ChromaticGibbsSampler
     rsu::mrf::SamplerWork work() const;
 
     SamplerKind kind() const { return kind_; }
+    rsu::mrf::SweepPath path() const { return path_; }
     int shards() const { return static_cast<int>(shards_.size()); }
 
     /** Shard @p s's emulated device (RsuGibbs only; tests/wear). */
@@ -89,7 +101,6 @@ class ChromaticGibbsSampler
     {
         rsu::rng::Xoshiro256 rng{0};
         std::vector<double> weights;      // SoftwareGibbs scratch
-        std::vector<uint8_t> data2;       // RsuGibbs scratch
         std::unique_ptr<rsu::core::RsuG> unit; // RsuGibbs device
         rsu::mrf::SamplerWork work;
     };
@@ -97,7 +108,12 @@ class ChromaticGibbsSampler
     rsu::mrf::GridMrf &mrf_;
     ParallelSweepExecutor &executor_;
     SamplerKind kind_;
+    rsu::mrf::SweepPath path_;
     std::vector<Shard> shards_;
+    // Shared read-only during sweeps; tables_ is re-synced (exp
+    // rebuild on temperature change) single-threaded at sweep start.
+    std::unique_ptr<rsu::mrf::SweepTables> tables_;   // Table path
+    std::unique_ptr<rsu::core::Data2Table> data2_;    // RsuGibbs
 };
 
 } // namespace rsu::runtime

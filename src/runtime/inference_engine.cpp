@@ -107,7 +107,8 @@ InferenceEngine::execute(InferenceJob &job, uint64_t id)
         shards = options_.default_shards;
     ParallelSweepExecutor executor(pool_, shards);
     ChromaticGibbsSampler sampler(mrf, executor, job.seed,
-                                  job.sampler, job.rsu_base);
+                                  job.sampler, job.rsu_base,
+                                  job.sweep_path);
 
     InferenceResult result;
     result.job_id = id;

@@ -56,6 +56,13 @@ struct InferenceJob
     /** Site-update backend. */
     SamplerKind sampler = SamplerKind::SoftwareGibbs;
 
+    /** SoftwareGibbs realization: Table sweeps through precomputed
+     * lookup tables — bit-identical to Reference per (seed, shards),
+     * several times faster. Table by default: serving traffic should
+     * take the fast path unless a job explicitly asks to exercise
+     * the reference loop. */
+    rsu::mrf::SweepPath sweep_path = rsu::mrf::SweepPath::Table;
+
     /** Per-shard RSU-G template (RsuGibbs only); energy datapath is
      * overridden from the model. */
     rsu::core::RsuGConfig rsu_base;

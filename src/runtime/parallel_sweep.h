@@ -88,6 +88,28 @@ class ParallelSweepExecutor
     void
     sweep(int width, int height, Fn &&fn)
     {
+        // The split visit with one callable on both classes is the
+        // plain checkerboard sweep (identical site order).
+        sweepSplit(width, height, fn, fn);
+    }
+
+    /**
+     * sweep() with the lattice-interior/border split: for sites
+     * whose four neighbours all exist, interior(shard, x, y) runs
+     * instead of border(shard, x, y). Visit order is identical to
+     * sweep() — the split selects a kernel, never reorders — so a
+     * per-shard entropy stream is consumed the same way on either
+     * form. This is how the table-driven fast path drives its
+     * branch-free interior kernel per shard
+     * (mrf::forEachSiteInRowsSplit classifies by lattice
+     * coordinates, so band-edge rows of an interior shard still run
+     * the interior kernel).
+     */
+    template <typename FnInterior, typename FnBorder>
+    void
+    sweepSplit(int width, int height, FnInterior &&interior,
+               FnBorder &&border)
+    {
         const auto bands = shardRows(height, shards_);
         for (int parity = 0; parity < 2; ++parity) {
             const auto start = std::chrono::steady_clock::now();
@@ -95,9 +117,11 @@ class ParallelSweepExecutor
             for (int s = 0; s < static_cast<int>(bands.size());
                  ++s) {
                 pool_.submit([&, s, parity] {
-                    rsu::mrf::forEachSiteInRows(
-                        width, bands[s].y0, bands[s].y1, parity,
-                        [&](int x, int y) { fn(s, x, y); });
+                    rsu::mrf::forEachSiteInRowsSplit(
+                        width, height, bands[s].y0, bands[s].y1,
+                        parity,
+                        [&](int x, int y) { interior(s, x, y); },
+                        [&](int x, int y) { border(s, x, y); });
                     latch.countDown();
                 });
             }

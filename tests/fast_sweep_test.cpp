@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Table-driven fast sweep path tests.
+ *
+ * The headline contract: because every energy in the system is an
+ * exact integer, the fast path's lookups are bit-identical to the
+ * reference sampler's recomputation — same label field, same RNG
+ * consumption — for every (seed, schedule, shard count, temperature
+ * schedule). These tests enforce that contract, plus unit-level
+ * equivalence of each table, ExpTable invalidation on
+ * setTemperature(), border correctness on degenerate lattices, and
+ * the logical SamplerWork accounting.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tables.h"
+#include "core/types.h"
+#include "mrf/fast_sweep.h"
+#include "mrf/gibbs.h"
+#include "mrf/grid_mrf.h"
+#include "mrf/schedule.h"
+#include "runtime/chromatic_sampler.h"
+#include "runtime/parallel_sweep.h"
+#include "runtime/thread_pool.h"
+#include "vision/segmentation.h"
+#include "vision/synthetic.h"
+
+namespace {
+
+using rsu::core::DoubletonTable;
+using rsu::core::EnergyConfig;
+using rsu::core::EnergyUnit;
+using rsu::core::ExpTable;
+using rsu::core::Label;
+using rsu::core::LabelMode;
+using rsu::mrf::GibbsSampler;
+using rsu::mrf::GridMrf;
+using rsu::mrf::MrfConfig;
+using rsu::mrf::Schedule;
+using rsu::mrf::SweepPath;
+using rsu::mrf::SweepTables;
+using rsu::runtime::ChromaticGibbsSampler;
+using rsu::runtime::ParallelSweepExecutor;
+using rsu::runtime::SamplerKind;
+using rsu::runtime::ThreadPool;
+
+/** A small segmentation problem with deterministic content. */
+struct Problem
+{
+    rsu::vision::SegmentationScene scene;
+    rsu::vision::SegmentationModel model;
+    MrfConfig config;
+
+    Problem(int width, int height, int labels, uint64_t seed)
+        : scene(makeScene(width, height, labels, seed)),
+          model(scene.image, scene.region_means),
+          config(rsu::vision::segmentationConfig(scene.image, labels))
+    {
+    }
+
+    static rsu::vision::SegmentationScene
+    makeScene(int width, int height, int labels, uint64_t seed)
+    {
+        rsu::rng::Xoshiro256 rng(seed);
+        return rsu::vision::makeSegmentationScene(width, height,
+                                                  labels, 3.0, rng);
+    }
+};
+
+void
+expectSameWork(const rsu::mrf::SamplerWork &a,
+               const rsu::mrf::SamplerWork &b)
+{
+    EXPECT_EQ(a.site_updates, b.site_updates);
+    EXPECT_EQ(a.energy_evals, b.energy_evals);
+    EXPECT_EQ(a.exp_calls, b.exp_calls);
+    EXPECT_EQ(a.random_draws, b.random_draws);
+}
+
+TEST(ExpTableTest, MatchesStdExpBitwise)
+{
+    ExpTable table;
+    for (double t : {16.0, 8.0, 2.5, 0.7}) {
+        table.rebuild(t, 42);
+        EXPECT_EQ(table.version(), 42u);
+        EXPECT_EQ(table.temperature(), t);
+        for (int e = 0; e <= rsu::core::kEnergyMax; ++e)
+            EXPECT_EQ(table.at(e),
+                      std::exp(-static_cast<double>(e) / t))
+                << "e=" << e << " t=" << t;
+    }
+    EXPECT_THROW(table.rebuild(0.0, 0), std::invalid_argument);
+}
+
+TEST(DoubletonTableTest, MatchesEnergyUnitForAllCodePairs)
+{
+    std::vector<EnergyConfig> configs(4);
+    configs[1].doubleton_weight = 8;
+    configs[2].doubleton_cap = 4;
+    configs[2].doubleton_weight = 3;
+    configs[3].mode = LabelMode::Vector;
+    configs[3].doubleton_cap = 9;
+
+    std::vector<Label> codes;
+    for (int c = 0; c < rsu::core::kMaxLabels; c += 3)
+        codes.push_back(static_cast<Label>(c));
+
+    for (const auto &config : configs) {
+        const EnergyUnit unit(config);
+        const DoubletonTable table(unit, codes);
+        ASSERT_EQ(table.numCandidates(),
+                  static_cast<int>(codes.size()));
+        for (int i = 0; i < table.numCandidates(); ++i)
+            for (int c = 0; c < rsu::core::kMaxLabels; ++c)
+                EXPECT_EQ(table.at(i, static_cast<Label>(c)),
+                          unit.doubleton(codes[i],
+                                         static_cast<Label>(c)));
+    }
+}
+
+TEST(SingletonTableTest, MatchesModelAndDrivesMlInit)
+{
+    Problem p(19, 13, 5, 7);
+    GridMrf mrf(p.config, p.model);
+    const auto table = mrf.buildSingletonTable();
+
+    for (int y = 0; y < mrf.height(); ++y) {
+        for (int x = 0; x < mrf.width(); ++x) {
+            const int site = mrf.index(x, y);
+            for (int i = 0; i < mrf.numLabels(); ++i)
+                ASSERT_EQ(table.at(site, i),
+                          mrf.energyUnit().singleton(
+                              p.model.data1(x, y),
+                              p.model.data2(x, y, mrf.codeOf(i))));
+        }
+    }
+
+    // ML init = per-site argmin of the table, first minimum wins.
+    mrf.initializeMaximumLikelihood();
+    for (int y = 0; y < mrf.height(); ++y) {
+        for (int x = 0; x < mrf.width(); ++x) {
+            const int site = mrf.index(x, y);
+            int best = 0;
+            for (int i = 1; i < mrf.numLabels(); ++i)
+                if (table.at(site, i) < table.at(site, best))
+                    best = i;
+            EXPECT_EQ(mrf.label(x, y), mrf.codeOf(best));
+        }
+    }
+}
+
+TEST(Data2TableTest, RowsMatchData2At)
+{
+    Problem p(11, 9, 4, 3);
+    GridMrf mrf(p.config, p.model);
+    const auto staged = mrf.buildData2Table();
+    std::vector<uint8_t> direct(mrf.numLabels());
+    for (int y = 0; y < mrf.height(); ++y) {
+        for (int x = 0; x < mrf.width(); ++x) {
+            mrf.data2At(x, y, direct.data());
+            const uint8_t *row = staged.row(mrf.index(x, y));
+            for (int i = 0; i < mrf.numLabels(); ++i)
+                ASSERT_EQ(row[i], direct[i]);
+        }
+    }
+}
+
+TEST(ScheduleSplit, VisitOrderIdenticalToUnsplit)
+{
+    using Site = std::pair<int, int>;
+    for (const int w : {1, 2, 3, 9}) {
+        for (const int h : {1, 2, 7}) {
+            for (const Schedule schedule :
+                 {Schedule::Raster, Schedule::Checkerboard}) {
+                std::vector<Site> unsplit;
+                rsu::mrf::forEachSite(w, h, schedule,
+                                      [&](int x, int y) {
+                                          unsplit.emplace_back(x, y);
+                                      });
+                std::vector<Site> split;
+                int interior = 0;
+                rsu::mrf::forEachSiteSplit(
+                    w, h, schedule,
+                    [&](int x, int y) {
+                        EXPECT_TRUE(x > 0 && x < w - 1 && y > 0 &&
+                                    y < h - 1);
+                        split.emplace_back(x, y);
+                        ++interior;
+                    },
+                    [&](int x, int y) {
+                        EXPECT_TRUE(x == 0 || x == w - 1 || y == 0 ||
+                                    y == h - 1);
+                        split.emplace_back(x, y);
+                    });
+                EXPECT_EQ(split, unsplit);
+                EXPECT_EQ(interior,
+                          std::max(0, (w - 2)) * std::max(0, (h - 2)));
+            }
+        }
+    }
+}
+
+TEST(FastSweepTest, BitExactAcrossSeedsAndSchedules)
+{
+    Problem p(29, 22, 6, 17);
+    for (const uint64_t seed : {1ull, 7ull, 42ull}) {
+        for (const Schedule schedule :
+             {Schedule::Raster, Schedule::Checkerboard}) {
+            GridMrf ref_mrf(p.config, p.model);
+            ref_mrf.initializeMaximumLikelihood();
+            GibbsSampler reference(ref_mrf, seed, schedule);
+
+            GridMrf fast_mrf(p.config, p.model);
+            fast_mrf.initializeMaximumLikelihood();
+            GibbsSampler fast(fast_mrf, seed, schedule,
+                              SweepPath::Table);
+
+            for (int sweep = 0; sweep < 4; ++sweep) {
+                reference.sweep();
+                fast.sweep();
+                ASSERT_EQ(ref_mrf.labels(), fast_mrf.labels())
+                    << "seed=" << seed << " sweep=" << sweep;
+            }
+            expectSameWork(reference.work(), fast.work());
+        }
+    }
+}
+
+TEST(FastSweepTest, BitExactOnVectorModeCodes)
+{
+    // Motion-style model: vector labels on a 3x3 window, codes
+    // packed with stride 8 (non-contiguous), truncated-quadratic
+    // doubleton.
+    class WarpModel : public rsu::mrf::SingletonModel
+    {
+      public:
+        uint8_t
+        data1(int x, int y) const override
+        {
+            return static_cast<uint8_t>((3 * x + 5 * y) & 63);
+        }
+        uint8_t
+        data2(int x, int y, Label label) const override
+        {
+            return static_cast<uint8_t>(
+                (x + 2 * y + 7 * rsu::core::labelX1(label) +
+                 11 * rsu::core::labelX2(label)) &
+                63);
+        }
+    };
+
+    MrfConfig config;
+    config.width = 17;
+    config.height = 12;
+    config.num_labels = 9;
+    for (int dy = 0; dy < 3; ++dy)
+        for (int dx = 0; dx < 3; ++dx)
+            config.label_codes.push_back(
+                rsu::core::packVectorLabel(dx, dy));
+    config.energy.mode = LabelMode::Vector;
+    config.energy.doubleton_weight = 4;
+    config.energy.doubleton_cap = 5;
+    config.temperature = 6.0;
+
+    const WarpModel model;
+    GridMrf ref_mrf(config, model);
+    ref_mrf.initializeMaximumLikelihood();
+    GibbsSampler reference(ref_mrf, 19);
+
+    GridMrf fast_mrf(config, model);
+    fast_mrf.initializeMaximumLikelihood();
+    GibbsSampler fast(fast_mrf, 19, Schedule::Checkerboard,
+                      SweepPath::Table);
+
+    reference.run(5);
+    fast.run(5);
+    EXPECT_EQ(ref_mrf.labels(), fast_mrf.labels());
+    expectSameWork(reference.work(), fast.work());
+}
+
+TEST(FastSweepTest, BitExactAcrossRuntimeShardCounts)
+{
+    Problem p(37, 26, 5, 29);
+    for (const int shards : {1, 2, 4, 8}) {
+        GridMrf ref_mrf(p.config, p.model);
+        ref_mrf.initializeMaximumLikelihood();
+        ThreadPool ref_pool(2);
+        ParallelSweepExecutor ref_executor(ref_pool, shards);
+        ChromaticGibbsSampler reference(ref_mrf, ref_executor, 99);
+
+        GridMrf fast_mrf(p.config, p.model);
+        fast_mrf.initializeMaximumLikelihood();
+        ThreadPool fast_pool(3); // pool size must not matter
+        ParallelSweepExecutor fast_executor(fast_pool, shards);
+        ChromaticGibbsSampler fast(fast_mrf, fast_executor, 99,
+                                   SamplerKind::SoftwareGibbs, {},
+                                   SweepPath::Table);
+        ASSERT_EQ(fast.path(), SweepPath::Table);
+
+        for (int sweep = 0; sweep < 3; ++sweep) {
+            reference.sweep();
+            fast.sweep();
+            ASSERT_EQ(ref_mrf.labels(), fast_mrf.labels())
+                << "shards=" << shards << " sweep=" << sweep;
+        }
+        expectSameWork(reference.work(), fast.work());
+    }
+}
+
+TEST(FastSweepTest, OneShardTableMatchesSequentialTable)
+{
+    Problem p(23, 18, 4, 47);
+
+    GridMrf sequential(p.config, p.model);
+    sequential.initializeMaximumLikelihood();
+    GibbsSampler reference(sequential, 5, Schedule::Checkerboard,
+                           SweepPath::Table);
+    reference.run(4);
+
+    GridMrf parallel(p.config, p.model);
+    parallel.initializeMaximumLikelihood();
+    ThreadPool pool(2);
+    ParallelSweepExecutor executor(pool, 1);
+    ChromaticGibbsSampler sampler(parallel, executor, 5,
+                                  SamplerKind::SoftwareGibbs, {},
+                                  SweepPath::Table);
+    sampler.run(4);
+
+    EXPECT_EQ(sequential.labels(), parallel.labels());
+}
+
+TEST(FastSweepTest, AnnealingRampInvalidatesExpTable)
+{
+    Problem p(21, 16, 4, 13);
+
+    // Sequential samplers under an explicit temperature ramp.
+    GridMrf ref_mrf(p.config, p.model);
+    ref_mrf.initializeMaximumLikelihood();
+    GibbsSampler reference(ref_mrf, 31);
+
+    GridMrf fast_mrf(p.config, p.model);
+    fast_mrf.initializeMaximumLikelihood();
+    GibbsSampler fast(fast_mrf, 31, Schedule::Checkerboard,
+                      SweepPath::Table);
+    ASSERT_NE(fast.tables(), nullptr);
+
+    double t = p.config.temperature;
+    for (int stage = 0; stage < 5; ++stage) {
+        reference.setTemperature(t);
+        fast.setTemperature(t);
+        reference.run(2);
+        fast.run(2);
+        ASSERT_EQ(ref_mrf.labels(), fast_mrf.labels())
+            << "stage=" << stage << " t=" << t;
+        // The fast path's exp table must have followed the ramp.
+        EXPECT_EQ(fast.tables()->expTable().temperature(), t);
+        t *= 0.6;
+    }
+
+    // Same ramp through the chromatic runtime's setTemperature.
+    for (const int shards : {1, 3}) {
+        GridMrf a_mrf(p.config, p.model);
+        a_mrf.initializeMaximumLikelihood();
+        ThreadPool a_pool(2);
+        ParallelSweepExecutor a_executor(a_pool, shards);
+        ChromaticGibbsSampler a(a_mrf, a_executor, 77);
+
+        GridMrf b_mrf(p.config, p.model);
+        b_mrf.initializeMaximumLikelihood();
+        ThreadPool b_pool(2);
+        ParallelSweepExecutor b_executor(b_pool, shards);
+        ChromaticGibbsSampler b(b_mrf, b_executor, 77,
+                                SamplerKind::SoftwareGibbs, {},
+                                SweepPath::Table);
+
+        double stage_t = p.config.temperature;
+        for (int stage = 0; stage < 4; ++stage) {
+            a.setTemperature(stage_t);
+            b.setTemperature(stage_t);
+            a.run(2);
+            b.run(2);
+            ASSERT_EQ(a_mrf.labels(), b_mrf.labels())
+                << "shards=" << shards << " stage=" << stage;
+            stage_t *= 0.5;
+        }
+    }
+}
+
+TEST(FastSweepTest, BitExactOnDegenerateLattices)
+{
+    // 1xN and Nx1 lattices: every site is a border site, exercising
+    // each neighbour-validity combination the border kernel handles.
+    const std::pair<int, int> dims[] = {
+        {1, 24}, {24, 1}, {1, 1}, {2, 15}, {15, 2}};
+    for (const auto &[w, h] : dims) {
+        Problem p(w, h, 3, 61);
+        for (const Schedule schedule :
+             {Schedule::Raster, Schedule::Checkerboard}) {
+            GridMrf ref_mrf(p.config, p.model);
+            ref_mrf.initializeMaximumLikelihood();
+            GibbsSampler reference(ref_mrf, 3, schedule);
+
+            GridMrf fast_mrf(p.config, p.model);
+            fast_mrf.initializeMaximumLikelihood();
+            GibbsSampler fast(fast_mrf, 3, schedule,
+                              SweepPath::Table);
+
+            reference.run(6);
+            fast.run(6);
+            ASSERT_EQ(ref_mrf.labels(), fast_mrf.labels())
+                << w << "x" << h;
+            expectSameWork(reference.work(), fast.work());
+        }
+    }
+}
+
+TEST(FastSweepTest, SingleSiteUpdatesMatchReference)
+{
+    Problem p(9, 7, 4, 5);
+    GridMrf ref_mrf(p.config, p.model);
+    ref_mrf.initializeMaximumLikelihood();
+    GibbsSampler reference(ref_mrf, 71);
+
+    GridMrf fast_mrf(p.config, p.model);
+    fast_mrf.initializeMaximumLikelihood();
+    GibbsSampler fast(fast_mrf, 71, Schedule::Checkerboard,
+                      SweepPath::Table);
+
+    // Mixed interior and border single-site updates.
+    const std::pair<int, int> sites[] = {
+        {0, 0}, {4, 3}, {8, 6}, {1, 1}, {0, 3}, {4, 0}, {8, 2}};
+    for (const auto &[x, y] : sites)
+        EXPECT_EQ(reference.updateSite(x, y), fast.updateSite(x, y))
+            << "(" << x << ", " << y << ")";
+    EXPECT_EQ(ref_mrf.labels(), fast_mrf.labels());
+}
+
+} // namespace
