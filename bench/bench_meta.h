@@ -72,9 +72,12 @@ warnIfNotRelease()
 /**
  * Write the common `"metadata": {...},` object (with trailing
  * comma) into an in-progress JSON document, indented two spaces.
+ * @p extra_fields optionally appends bench-specific fields: raw
+ * JSON `"key": value` pairs (comma-separated, no surrounding
+ * braces), e.g. `"\"simd_isa\": \"avx2\""`.
  */
 inline void
-writeMetaJson(FILE *json)
+writeMetaJson(FILE *json, const char *extra_fields = nullptr)
 {
     std::fprintf(json,
                  "  \"metadata\": {\n"
@@ -88,6 +91,8 @@ writeMetaJson(FILE *json)
         std::fprintf(json,
                      ",\n    \"build_warning\": \"non-release build; "
                      "timings are not meaningful\"");
+    if (extra_fields && *extra_fields)
+        std::fprintf(json, ",\n    %s", extra_fields);
     std::fprintf(json, "\n  },\n");
 }
 

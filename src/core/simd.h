@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Runtime SIMD instruction-set detection and selection.
+ *
+ * The Simd sweep path (mrf/fast_sweep.h) vectorizes the candidate
+ * dimension of the Gibbs inner loop with kernels compiled for
+ * several x86 ISAs and picks one at runtime. Because those kernels
+ * operate on Q32 fixed-point weights with associative integer
+ * arithmetic, every ISA — and the scalar fallback — produces
+ * *identical* label fields; the selection here is purely a speed
+ * choice, never a results choice (tests/simd_sweep_test.cpp
+ * enforces the equivalence).
+ *
+ * Selection order: the RSU_SIMD environment variable
+ * ("scalar" | "sse2" | "avx2") names a *ceiling*, clamped to what
+ * cpuid says the machine can actually run; unset or unrecognized
+ * values select the widest detected ISA. The clamp means
+ * RSU_SIMD=avx2 on an SSE2-only machine degrades safely instead of
+ * faulting.
+ */
+
+#ifndef RSU_CORE_SIMD_H
+#define RSU_CORE_SIMD_H
+
+namespace rsu::core {
+
+/**
+ * Vector ISAs the sweep kernels are built for, ordered by width so
+ * clamping a request to the detected capability is a min().
+ */
+enum class SimdIsa {
+    Scalar = 0, //!< portable integer loop (always available)
+    Sse2 = 1,   //!< 4 x int32 lanes (x86-64 baseline)
+    Avx2 = 2,   //!< 8 x int32 lanes + hardware gather
+};
+
+/** Lane width (int32 candidates per vector) of @p isa. */
+constexpr int
+simdLanes(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::Avx2:
+        return 8;
+    case SimdIsa::Sse2:
+        return 4;
+    default:
+        return 1;
+    }
+}
+
+/** Candidate-lane padding the kernels assume (the widest ISA's). */
+constexpr int kSimdPadLanes = 8;
+
+/** Lowercase name ("scalar" | "sse2" | "avx2"). */
+const char *simdIsaName(SimdIsa isa);
+
+/** Widest ISA this CPU supports (cpuid-backed, cached). */
+SimdIsa detectedSimdIsa();
+
+/**
+ * Combine an RSU_SIMD-style request with the detected capability:
+ * null/empty/unrecognized @p request selects @p detected; a
+ * recognized name is clamped to @p detected. Pure function — the
+ * unit tests drive it directly.
+ */
+SimdIsa resolveSimdIsa(const char *request, SimdIsa detected);
+
+/**
+ * The ISA the Simd sweep path should use now:
+ * resolveSimdIsa(getenv("RSU_SIMD"), detectedSimdIsa()). Reads the
+ * environment on every call so tests can re-point it between
+ * sampler constructions.
+ */
+SimdIsa activeSimdIsa();
+
+} // namespace rsu::core
+
+#endif // RSU_CORE_SIMD_H

@@ -35,6 +35,34 @@ DoubletonTable::DoubletonTable(const EnergyUnit &unit,
     }
 }
 
+TransposedDoubletonTable::TransposedDoubletonTable(
+    const EnergyUnit &unit, const std::vector<Label> &codes,
+    int padded_candidates)
+    : num_candidates_(static_cast<int>(codes.size())),
+      padded_candidates_(padded_candidates == 0
+                             ? num_candidates_
+                             : padded_candidates),
+      rows_(static_cast<size_t>(kMaxLabels) * padded_candidates_)
+{
+    if (codes.empty())
+        throw std::invalid_argument(
+            "TransposedDoubletonTable: no candidates");
+    if (padded_candidates_ < num_candidates_)
+        throw std::invalid_argument(
+            "TransposedDoubletonTable: padding below candidate "
+            "count");
+    for (int c = 0; c < kMaxLabels; ++c) {
+        int32_t *r = rows_.data() +
+                     static_cast<size_t>(c) * padded_candidates_;
+        for (int i = 0; i < num_candidates_; ++i)
+            r[i] = unit.doubleton(codes[i], static_cast<Label>(c));
+        // rows_ value-initializes, but be explicit: pad lanes are 0
+        // so the padded singleton's kEnergyMax stays the row sum.
+        for (int i = num_candidates_; i < padded_candidates_; ++i)
+            r[i] = 0;
+    }
+}
+
 void
 ExpTable::rebuild(double temperature, uint64_t version)
 {
@@ -47,6 +75,27 @@ ExpTable::rebuild(double temperature, uint64_t version)
     // bits, which is what makes the fast path bit-exact.
     for (int e = 0; e <= kEnergyMax; ++e)
         values_[e] = std::exp(-static_cast<double>(e) / temperature);
+    temperature_ = temperature;
+    version_ = version;
+}
+
+void
+FixedExpTable::rebuild(double temperature, uint64_t version)
+{
+    if (temperature <= 0.0)
+        throw std::invalid_argument("FixedExpTable: temperature "
+                                    "must be positive");
+    values_.resize(kEnergyMax + 1);
+    for (int e = 0; e <= kEnergyMax; ++e) {
+        // Round the max-normalized weight to Q32 and floor at 1:
+        // exp(-e/T) can underflow the 32-bit grid for cold
+        // temperatures, and a zero lane would make a site's weight
+        // total zero when every candidate is that unlikely.
+        const long long q = std::llround(
+            std::exp(-static_cast<double>(e) / temperature) *
+            kScale);
+        values_[e] = static_cast<uint32_t>(q < 1 ? 1 : q);
+    }
     temperature_ = temperature;
     version_ = version;
 }

@@ -2,29 +2,72 @@
 
 #include <cassert>
 
+#include "mrf/simd_kernels.h"
 #include "rng/discrete.h"
 
 namespace rsu::mrf {
 
 using rsu::core::kEnergyMax;
 using rsu::core::kLabelMask;
+using rsu::core::kSimdPadLanes;
+
+namespace {
+
+constexpr int
+padLabels(int num_labels)
+{
+    return (num_labels + kSimdPadLanes - 1) / kSimdPadLanes *
+           kSimdPadLanes;
+}
+
+} // namespace
+
+SweepTableSet::SweepTableSet(const GridMrf &mrf,
+                             const rsu::core::RowParallelFor &parallel)
+    : width_(mrf.width()), height_(mrf.height()),
+      num_labels_(mrf.numLabels()),
+      padded_labels_(padLabels(mrf.numLabels())),
+      codes_(mrf.labelCodes()),
+      singleton_(mrf.buildSingletonTable(padded_labels_, parallel)),
+      doubleton_(mrf.energyUnit(), mrf.labelCodes()),
+      transposed_(mrf.energyUnit(), mrf.labelCodes(),
+                  padded_labels_)
+{
+}
 
 SweepTables::SweepTables(const GridMrf &mrf)
-    : mrf_(&mrf), width_(mrf.width()), height_(mrf.height()),
-      num_labels_(mrf.numLabels()), codes_(mrf.labelCodes()),
-      singleton_(mrf.buildSingletonTable()),
-      doubleton_(mrf.energyUnit(), mrf.labelCodes())
+    : SweepTables(mrf, std::make_shared<const SweepTableSet>(mrf))
 {
+}
+
+SweepTables::SweepTables(const GridMrf &mrf,
+                         std::shared_ptr<const SweepTableSet> set)
+    : mrf_(&mrf), width_(mrf.width()), height_(mrf.height()),
+      num_labels_(mrf.numLabels()), set_(std::move(set)),
+      isa_(rsu::core::activeSimdIsa()),
+      interior_fn_(detail::interiorSampleFor(isa_))
+{
+    assert(set_ && set_->width() == width_ &&
+           set_->height() == height_ &&
+           set_->numLabels() == num_labels_);
     sync();
 }
 
 void
 SweepTables::sync()
 {
-    if (exp_.built() &&
-        exp_.version() == mrf_->temperatureVersion())
-        return;
-    exp_.rebuild(mrf_->temperature(), mrf_->temperatureVersion());
+    const uint64_t version = mrf_->temperatureVersion();
+    if (!exp_.built() || exp_.version() != version)
+        exp_.rebuild(mrf_->temperature(), version);
+    if (!fixed_exp_.built() || fixed_exp_.version() != version)
+        fixed_exp_.rebuild(mrf_->temperature(), version);
+}
+
+void
+SweepTables::setSimdIsa(rsu::core::SimdIsa isa)
+{
+    isa_ = isa;
+    interior_fn_ = detail::interiorSampleFor(isa);
 }
 
 Label
@@ -42,11 +85,11 @@ SweepTables::updateInterior(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
     const int n2 = labels[site - 1] & kLabelMask;
     const int n3 = labels[site + 1] & kLabelMask;
 
-    const uint16_t *s = singleton_.row(site);
+    const uint16_t *s = set_->singleton().row(site);
     const double *et = exp_.data();
     const int m = num_labels_;
     for (int i = 0; i < m; ++i) {
-        const int32_t *d = doubleton_.row(i);
+        const int32_t *d = set_->doubleton().row(i);
         int e = s[i] + d[n0] + d[n1] + d[n2] + d[n3];
         e = e < kEnergyMax ? e : kEnergyMax;
         weights[i] = et[e];
@@ -61,7 +104,7 @@ SweepTables::updateInterior(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
     ++work.random_draws;
     ++work.site_updates;
 
-    const Label l = codes_[choice];
+    const Label l = set_->codes()[choice];
     mrf.setLabel(x, y, l);
     return l;
 }
@@ -86,11 +129,11 @@ SweepTables::updateBorder(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
     if (x + 1 < width_)
         n[valid++] = labels[site + 1] & kLabelMask;
 
-    const uint16_t *s = singleton_.row(site);
+    const uint16_t *s = set_->singleton().row(site);
     const double *et = exp_.data();
     const int m = num_labels_;
     for (int i = 0; i < m; ++i) {
-        const int32_t *d = doubleton_.row(i);
+        const int32_t *d = set_->doubleton().row(i);
         int e = s[i];
         for (int k = 0; k < valid; ++k)
             e += d[n[k]];
@@ -104,7 +147,64 @@ SweepTables::updateBorder(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
     ++work.random_draws;
     ++work.site_updates;
 
-    const Label l = codes_[choice];
+    const Label l = set_->codes()[choice];
+    mrf.setLabel(x, y, l);
+    return l;
+}
+
+Label
+SweepTables::updateBorderSimd(GridMrf &mrf,
+                              rsu::rng::Xoshiro256 &rng,
+                              rsu::rng::BlockRng &block,
+                              uint32_t *weights, SamplerWork &work,
+                              int x, int y) const
+{
+    assert(&mrf == mrf_);
+
+    const int site = y * width_ + x;
+    const Label *labels = mrf.labels().data();
+    Label n[4];
+    int valid = 0;
+    if (y > 0)
+        n[valid++] = labels[site - width_];
+    if (y + 1 < height_)
+        n[valid++] = labels[site + width_];
+    if (x > 0)
+        n[valid++] = labels[site - 1];
+    if (x + 1 < width_)
+        n[valid++] = labels[site + 1];
+
+    // Scalar integer loop over the real candidates: border sites
+    // are O(perimeter), and plain fixed-order integer arithmetic is
+    // trivially identical across ISAs. Renormalized by the site
+    // minimum exactly like the interior kernels (see
+    // simd_kernels.h), reusing the weights buffer as energy
+    // scratch.
+    const uint16_t *s = set_->singleton().row(site);
+    const auto &dt = set_->transposedDoubleton();
+    const uint32_t *wt = fixed_exp_.data();
+    const int m = num_labels_;
+    int32_t *energies = reinterpret_cast<int32_t *>(weights);
+    int emin = kEnergyMax;
+    for (int i = 0; i < m; ++i) {
+        int e = s[i];
+        for (int k = 0; k < valid; ++k)
+            e += dt.row(n[k])[i];
+        e = e < kEnergyMax ? e : kEnergyMax;
+        energies[i] = e;
+        emin = e < emin ? e : emin;
+    }
+    for (int i = 0; i < m; ++i)
+        weights[i] = wt[energies[i] - emin];
+    work.energy_evals += m;
+    work.exp_calls += m;
+
+    const int choice =
+        detail::selectCandidateFixed(block.next(rng), weights, m);
+    ++work.random_draws;
+    ++work.site_updates;
+
+    const Label l = set_->codes()[choice];
     mrf.setLabel(x, y, l);
     return l;
 }

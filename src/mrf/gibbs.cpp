@@ -12,8 +12,10 @@ GibbsSampler::GibbsSampler(GridMrf &mrf, uint64_t seed,
     : mrf_(mrf), rng_(seed), schedule_(schedule), path_(path),
       weights_(mrf.numLabels())
 {
-    if (path_ == SweepPath::Table)
+    if (path_ != SweepPath::Reference)
         tables_ = std::make_unique<SweepTables>(mrf_);
+    if (path_ == SweepPath::Simd)
+        fixed_weights_.resize(tables_->paddedLabels());
 }
 
 GibbsSampler::~GibbsSampler() = default;
@@ -48,6 +50,12 @@ GibbsSampler::updateSiteWith(GridMrf &mrf, rsu::rng::Xoshiro256 &rng,
 Label
 GibbsSampler::updateSite(int x, int y)
 {
+    if (path_ == SweepPath::Simd) {
+        tables_->sync();
+        return tables_->updateSiteSimd(mrf_, rng_, block_,
+                                       fixed_weights_.data(), work_,
+                                       x, y);
+    }
     if (tables_) {
         tables_->sync();
         return tables_->updateSite(mrf_, rng_, weights_.data(),
@@ -59,6 +67,22 @@ GibbsSampler::updateSite(int x, int y)
 void
 GibbsSampler::sweep()
 {
+    if (path_ == SweepPath::Simd) {
+        tables_->sync();
+        forEachSiteSplit(
+            mrf_.width(), mrf_.height(), schedule_,
+            [this](int x, int y) {
+                tables_->updateInteriorSimd(mrf_, rng_, block_,
+                                            fixed_weights_.data(),
+                                            work_, x, y);
+            },
+            [this](int x, int y) {
+                tables_->updateBorderSimd(mrf_, rng_, block_,
+                                          fixed_weights_.data(),
+                                          work_, x, y);
+            });
+        return;
+    }
     if (tables_) {
         tables_->sync();
         forEachSiteSplit(
@@ -88,6 +112,13 @@ void
 GibbsSampler::setTemperature(double t)
 {
     mrf_.setTemperature(t);
+}
+
+void
+GibbsSampler::setSimdIsa(rsu::core::SimdIsa isa)
+{
+    if (tables_)
+        tables_->setSimdIsa(isa);
 }
 
 } // namespace rsu::mrf

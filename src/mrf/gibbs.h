@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/simd.h"
 #include "mrf/grid_mrf.h"
 #include "mrf/schedule.h"
+#include "rng/block.h"
 #include "rng/xoshiro256.h"
 
 namespace rsu::mrf {
@@ -44,6 +46,8 @@ struct SamplerWork
 enum class SweepPath {
     Reference, //!< virtual data2 + EnergyUnit + std::exp per candidate
     Table,     //!< precomputed tables, bit-identical results (fast)
+    Simd,      //!< vectorized Q32 fixed-point tables (fastest);
+               //!< identical across ISAs, not bit-identical to Table
 };
 
 /** Exact full-conditional Gibbs sweeps over a GridMrf. */
@@ -57,7 +61,11 @@ class GibbsSampler
      * @param path Reference recomputes every conditional from the
      *        model; Table precomputes SweepTables once and sweeps
      *        through lookups — bit-identical results, several times
-     *        faster. Table assumes the singleton model is static.
+     *        faster; Simd additionally vectorizes the candidate
+     *        dimension over Q32 fixed-point weights — fastest,
+     *        identical across ISAs/runs but not bit-identical to
+     *        the other two. Table/Simd assume the singleton model
+     *        is static.
      */
     GibbsSampler(GridMrf &mrf, uint64_t seed,
                  Schedule schedule = Schedule::Checkerboard,
@@ -99,7 +107,15 @@ class GibbsSampler
 
     SweepPath path() const { return path_; }
 
-    /** The fast path's tables (nullptr on the Reference path). */
+    /**
+     * Select the Simd path's kernel ISA (see
+     * SweepTables::setSimdIsa; no-op on the other paths). Any
+     * choice yields identical labels — the lane-equivalence tests
+     * force Scalar here against the widest detected ISA.
+     */
+    void setSimdIsa(rsu::core::SimdIsa isa);
+
+    /** The fast paths' tables (nullptr on the Reference path). */
     const SweepTables *tables() const { return tables_.get(); }
 
     const SamplerWork &work() const { return work_; }
@@ -112,7 +128,9 @@ class GibbsSampler
     SweepPath path_;
     SamplerWork work_;
     std::vector<double> weights_; // scratch, sized num_labels
-    std::unique_ptr<SweepTables> tables_; // Table path only
+    std::unique_ptr<SweepTables> tables_;  // Table/Simd paths only
+    std::vector<uint32_t> fixed_weights_;  // Simd scratch (padded)
+    rsu::rng::BlockRng block_;             // Simd draw buffer
 };
 
 } // namespace rsu::mrf

@@ -72,12 +72,21 @@ GridMrf::setTemperature(double t)
 rsu::core::SingletonTable
 GridMrf::buildSingletonTable() const
 {
+    return buildSingletonTable(0, {});
+}
+
+rsu::core::SingletonTable
+GridMrf::buildSingletonTable(
+    int padded_labels, const rsu::core::RowParallelFor &parallel) const
+{
     return rsu::core::SingletonTable(
-        width(), height(), numLabels(), [this](int x, int y, int i) {
+        width(), height(), numLabels(), padded_labels,
+        [this](int x, int y, int i) {
             return energy_unit_.singleton(
                 singleton_.data1(x, y),
                 singleton_.data2(x, y, codes_[i]));
-        });
+        },
+        parallel);
 }
 
 rsu::core::Data2Table

@@ -182,6 +182,18 @@ class GridMrf
     rsu::core::SingletonTable buildSingletonTable() const;
 
     /**
+     * buildSingletonTable() with rows padded to @p padded_labels
+     * entries (kEnergyMax-filled pad lanes, for the SIMD kernels)
+     * and the per-row fills optionally fanned out over worker
+     * threads via @p parallel (see core::RowParallelFor) — rows are
+     * independent, so the table is identical to a sequential
+     * build's.
+     */
+    rsu::core::SingletonTable
+    buildSingletonTable(int padded_labels,
+                        const rsu::core::RowParallelFor &parallel) const;
+
+    /**
      * Per-site x per-candidate staged data2 bytes (what data2At()
      * fills, for every site at once). The RSU samplers hand table
      * rows straight to the device, removing the per-site virtual

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Candidate-vectorized sampling kernels for the Simd sweep path.
+ *
+ * An interior-site conditional is, per candidate i,
+ *   e_i = singleton[i] + dT[n0][i] + dT[n1][i] + dT[n2][i] + dT[n3][i]
+ *   w_i = fixedExp[min(e_i, kEnergyMax) - min_j e_j]
+ * over rows of the padded SingletonTable and the
+ * TransposedDoubletonTable — contiguous in i, so the candidate
+ * dimension vectorizes directly: widening 16->32-bit loads, four
+ * int32 adds, one clamp, a running vector min, one gather. The
+ * site-minimum subtraction renormalizes per site — exp(x) is only
+ * defined up to a factor inside a softmax, and shifting the
+ * minimum energy to 0 pins the largest weight at the top of the
+ * Q32 table, so quantization error stays ~2^-32 *relative to the
+ * site's own scale*. Without it, a site whose best energy is high
+ * gets only tiny integer weights and the floor-of-1 entries
+ * distort the distribution measurably (the chi-square tests catch
+ * exactly this).
+ *
+ * A kernel *samples*: it computes the weights and immediately
+ * draws the candidate from one raw 64-bit variate, so the whole
+ * site update stays in registers on the vector ISAs (the AVX2
+ * kernel never spills the weights for M <= lane width, and its
+ * selection is a branchless 64-bit prefix sum + compare-mask
+ * popcount). Kernels exist per ISA (core/simd.h) and MUST be
+ * semantically identical to selectCandidateFixed() over the scalar
+ * weights: every computation — sums, the associative min, the
+ * prefix sums — is exact integer arithmetic, so each ISA draws the
+ * same candidate; the Simd path's cross-ISA determinism contract
+ * rests on that.
+ *
+ * All rows must be padded to a multiple of kSimdPadLanes (8)
+ * candidates; kernels may read the pad lanes and use @p weights as
+ * scratch (contents unspecified after the call). Pad energies are
+ * exactly kEnergyMax (saturated singleton + zero doubleton), which
+ * never undercuts a real lane's clamped energy, so taking the min
+ * across all padded lanes equals the min across real ones; pad
+ * weights are masked to zero (vector select) or never scanned
+ * (scalar select), so they cannot be drawn.
+ *
+ * Internal header: only fast_sweep.cpp and the per-ISA translation
+ * units (simd_kernels.cpp, simd_kernels_avx2.cpp — the latter built
+ * with -mavx2, reached only via runtime dispatch) include it.
+ */
+
+#ifndef RSU_MRF_SIMD_KERNELS_H
+#define RSU_MRF_SIMD_KERNELS_H
+
+#include <cstdint>
+
+#include "core/simd.h"
+
+namespace rsu::mrf::detail {
+
+/**
+ * Sample one interior site: compute the @p padded_m fixed-point
+ * candidate weights (site-renormalized — see the file comment) and
+ * return the candidate index in [0, m) drawn with the raw 64-bit
+ * variate @p draw. @p s is the site's padded singleton row;
+ * @p d0..@p d3 are the transposed-doubleton rows of the four
+ * neighbour codes; @p w_of_e is the 256-entry FixedExpTable data;
+ * @p m is the real candidate count. @p weights is caller-owned
+ * scratch of @p padded_m entries (a positive multiple of
+ * core::kSimdPadLanes); its contents after the call are
+ * unspecified.
+ */
+using InteriorSampleFn = int (*)(const uint16_t *s,
+                                 const int32_t *d0,
+                                 const int32_t *d1,
+                                 const int32_t *d2,
+                                 const int32_t *d3,
+                                 const uint32_t *w_of_e,
+                                 uint32_t *weights, int padded_m,
+                                 int m, uint64_t draw);
+
+int interiorSampleScalar(const uint16_t *s, const int32_t *d0,
+                         const int32_t *d1, const int32_t *d2,
+                         const int32_t *d3, const uint32_t *w_of_e,
+                         uint32_t *weights, int padded_m, int m,
+                         uint64_t draw);
+int interiorSampleSse2(const uint16_t *s, const int32_t *d0,
+                       const int32_t *d1, const int32_t *d2,
+                       const int32_t *d3, const uint32_t *w_of_e,
+                       uint32_t *weights, int padded_m, int m,
+                       uint64_t draw);
+int interiorSampleAvx2(const uint16_t *s, const int32_t *d0,
+                       const int32_t *d1, const int32_t *d2,
+                       const int32_t *d3, const uint32_t *w_of_e,
+                       uint32_t *weights, int padded_m, int m,
+                       uint64_t draw);
+
+/** The kernel for @p isa (Sse2/Avx2 fall back to scalar on
+ * non-x86 builds, where the dispatcher never requests them). */
+InteriorSampleFn interiorSampleFor(rsu::core::SimdIsa isa);
+
+/**
+ * Draw a candidate index from @p m fixed-point weights with one
+ * raw 64-bit variate: scale @p draw to the weight total with a
+ * 128-bit multiply (uniform in [0, total)), then scan the prefix
+ * sums in candidate order. Pure 64-bit integer arithmetic in a
+ * fixed order — identical on every ISA — and total >= m >= 1
+ * because FixedExpTable floors weights at 1, so the scan always
+ * terminates inside the loop. The reference semantics every
+ * vectorized selection must reproduce exactly: the chosen index is
+ * the count of prefix sums <= u, which is what the branchless
+ * compare-mask implementations compute.
+ */
+inline int
+selectCandidateFixed(uint64_t draw, const uint32_t *weights, int m)
+{
+    uint64_t total = 0;
+    for (int i = 0; i < m; ++i)
+        total += weights[i];
+    const uint64_t u = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(draw) * total) >> 64);
+    uint64_t run = 0;
+    for (int i = 0; i < m; ++i) {
+        run += weights[i];
+        if (u < run)
+            return i;
+    }
+    return m - 1; // unreachable: u < total == final run
+}
+
+} // namespace rsu::mrf::detail
+
+#endif // RSU_MRF_SIMD_KERNELS_H

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * AVX2 interior sampling kernel — the only translation unit built
+ * with -mavx2 (see src/mrf/CMakeLists.txt), so AVX2 instructions
+ * cannot leak into code that runs on narrower machines. The
+ * function is reached exclusively through detail::interiorSampleFor
+ * after core::detectedSimdIsa() confirmed AVX2 support. On non-x86
+ * targets the scalar-forwarding stub lives in simd_kernels.cpp and
+ * this file compiles to nothing.
+ *
+ * Selection is branchless and register-resident: pad lanes are
+ * masked to zero weight, the 8-lane blocks are widened to 64-bit
+ * prefix sums (in-lane shift-add, then a cross-lane broadcast-add),
+ * and the drawn index is the popcount of prefix sums <= u — exactly
+ * the index selectCandidateFixed's scalar scan returns, because
+ * both compute min{i : u < prefix_i} over the same exact integers.
+ * The common M <= 8 case never touches the weights scratch at all;
+ * larger M spills masked weights plus one 64-bit total per 8-lane
+ * block, and selection scans the block totals scalar (the scaled
+ * draw needs the grand total first) so only the one block that
+ * brackets u is ever prefix-summed.
+ */
+
+#include "mrf/simd_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "core/types.h"
+
+namespace rsu::mrf::detail {
+
+namespace {
+
+/** Inclusive prefix sum of 4 u64 lanes. */
+inline __m256i
+prefix4(__m256i v)
+{
+    // In-lane: [a, a+b | c, c+d], then broadcast a+b into the
+    // upper 128-bit lane and add.
+    v = _mm256_add_epi64(v, _mm256_slli_si256(v, 8));
+    __m256i t = _mm256_permute4x64_epi64(v, 0x55);
+    t = _mm256_blend_epi32(_mm256_setzero_si256(), t, 0xF0);
+    return _mm256_add_epi64(v, t);
+}
+
+/** Count of the 8 u64 prefix lanes (lo then hi) that are <= u.
+ * Signed compares are safe: totals fit 64 x (2^32 - 1) < 2^38. */
+inline int
+countLanesLe(__m256i lo, __m256i hi, __m256i uv)
+{
+    const int gt =
+        _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpgt_epi64(lo, uv))) |
+        (_mm256_movemask_pd(
+             _mm256_castsi256_pd(_mm256_cmpgt_epi64(hi, uv)))
+         << 4);
+    return 8 - __builtin_popcount(gt);
+}
+
+/** u64 draw scaled to [0, total) by the high 128-bit product —
+ * identical to selectCandidateFixed's scaling. */
+inline uint64_t
+scaleDraw(uint64_t draw, uint64_t total)
+{
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(draw) * total) >> 64);
+}
+
+} // namespace
+
+int
+interiorSampleAvx2(const uint16_t *s, const int32_t *d0,
+                   const int32_t *d1, const int32_t *d2,
+                   const int32_t *d3, const uint32_t *w_of_e,
+                   uint32_t *weights, int padded_m, int m,
+                   uint64_t draw)
+{
+    const __m256i clamp = _mm256_set1_epi32(rsu::core::kEnergyMax);
+    const __m256i lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+
+    if (padded_m == 8) {
+        // Single-block fast path: the whole site update stays in
+        // registers — no energy scratch, no weight spill.
+        __m256i ev = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(s)));
+        ev = _mm256_add_epi32(
+            ev, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(d0)));
+        ev = _mm256_add_epi32(
+            ev, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(d1)));
+        ev = _mm256_add_epi32(
+            ev, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(d2)));
+        ev = _mm256_add_epi32(
+            ev, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(d3)));
+        ev = _mm256_min_epi32(ev, clamp);
+        // Horizontal min, broadcast back, renormalize, look up.
+        __m128i m4 = _mm_min_epi32(_mm256_castsi256_si128(ev),
+                                   _mm256_extracti128_si256(ev, 1));
+        m4 = _mm_min_epi32(m4, _mm_shuffle_epi32(m4, 0x4e));
+        m4 = _mm_min_epi32(m4, _mm_shuffle_epi32(m4, 0xb1));
+        ev = _mm256_sub_epi32(ev, _mm256_broadcastd_epi32(m4));
+        __m256i wv = _mm256_i32gather_epi32(
+            reinterpret_cast<const int *>(w_of_e), ev, 4);
+        // Zero the pad lanes so they cannot be drawn, widen to
+        // 64-bit prefix sums, and pick by compare-mask popcount.
+        wv = _mm256_and_si256(
+            wv, _mm256_cmpgt_epi32(_mm256_set1_epi32(m), lane));
+        const __m256i lo =
+            prefix4(_mm256_cvtepu32_epi64(_mm256_castsi256_si128(wv)));
+        const __m256i hi = _mm256_add_epi64(
+            prefix4(_mm256_cvtepu32_epi64(
+                _mm256_extracti128_si256(wv, 1))),
+            _mm256_permute4x64_epi64(lo, 0xFF));
+        const uint64_t total = static_cast<uint64_t>(
+            _mm256_extract_epi64(hi, 3));
+        const __m256i uv = _mm256_set1_epi64x(
+            static_cast<long long>(scaleDraw(draw, total)));
+        return countLanesLe(lo, hi, uv);
+    }
+
+    if (padded_m == 16) {
+        // Two-block fast path (8 < M <= 16): still fully register
+        // resident — the 64-bit prefix chain just spans four
+        // quad-lane vectors instead of two.
+        __m256i ev0 = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(s)));
+        __m256i ev1 = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(s + 8)));
+        ev0 = _mm256_add_epi32(
+            ev0, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(d0)));
+        ev1 = _mm256_add_epi32(
+            ev1, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(d0 + 8)));
+        ev0 = _mm256_add_epi32(
+            ev0, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(d1)));
+        ev1 = _mm256_add_epi32(
+            ev1, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(d1 + 8)));
+        ev0 = _mm256_add_epi32(
+            ev0, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(d2)));
+        ev1 = _mm256_add_epi32(
+            ev1, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(d2 + 8)));
+        ev0 = _mm256_add_epi32(
+            ev0, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(d3)));
+        ev1 = _mm256_add_epi32(
+            ev1, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(d3 + 8)));
+        ev0 = _mm256_min_epi32(ev0, clamp);
+        ev1 = _mm256_min_epi32(ev1, clamp);
+        const __m256i mn = _mm256_min_epi32(ev0, ev1);
+        __m128i m4 = _mm_min_epi32(_mm256_castsi256_si128(mn),
+                                   _mm256_extracti128_si256(mn, 1));
+        m4 = _mm_min_epi32(m4, _mm_shuffle_epi32(m4, 0x4e));
+        m4 = _mm_min_epi32(m4, _mm_shuffle_epi32(m4, 0xb1));
+        const __m256i shift = _mm256_broadcastd_epi32(m4);
+        ev0 = _mm256_sub_epi32(ev0, shift);
+        ev1 = _mm256_sub_epi32(ev1, shift);
+        __m256i wv0 = _mm256_i32gather_epi32(
+            reinterpret_cast<const int *>(w_of_e), ev0, 4);
+        __m256i wv1 = _mm256_i32gather_epi32(
+            reinterpret_cast<const int *>(w_of_e), ev1, 4);
+        // Block 0 is all real (m > 8 here); mask block 1's pads.
+        wv1 = _mm256_and_si256(
+            wv1,
+            _mm256_cmpgt_epi32(_mm256_set1_epi32(m - 8), lane));
+        const __m256i p0 = prefix4(
+            _mm256_cvtepu32_epi64(_mm256_castsi256_si128(wv0)));
+        const __m256i p1 = _mm256_add_epi64(
+            prefix4(_mm256_cvtepu32_epi64(
+                _mm256_extracti128_si256(wv0, 1))),
+            _mm256_permute4x64_epi64(p0, 0xFF));
+        const __m256i p2 = _mm256_add_epi64(
+            prefix4(_mm256_cvtepu32_epi64(
+                _mm256_castsi256_si128(wv1))),
+            _mm256_permute4x64_epi64(p1, 0xFF));
+        const __m256i p3 = _mm256_add_epi64(
+            prefix4(_mm256_cvtepu32_epi64(
+                _mm256_extracti128_si256(wv1, 1))),
+            _mm256_permute4x64_epi64(p2, 0xFF));
+        const uint64_t total = static_cast<uint64_t>(
+            _mm256_extract_epi64(p3, 3));
+        const __m256i uv = _mm256_set1_epi64x(
+            static_cast<long long>(scaleDraw(draw, total)));
+        return countLanesLe(p0, p1, uv) + countLanesLe(p2, p3, uv);
+    }
+
+    // Pass 1: 8-wide clamped energies into the scratch, with a
+    // running 8-lane minimum.
+    int32_t *e = reinterpret_cast<int32_t *>(weights);
+    __m256i mn = clamp;
+    for (int i = 0; i < padded_m; i += 8) {
+        // 8 x uint16 singleton entries widened to int32 lanes.
+        const __m128i s16 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(s + i));
+        __m256i ev = _mm256_cvtepu16_epi32(s16);
+        ev = _mm256_add_epi32(
+            ev, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(d0 + i)));
+        ev = _mm256_add_epi32(
+            ev, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(d1 + i)));
+        ev = _mm256_add_epi32(
+            ev, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(d2 + i)));
+        ev = _mm256_add_epi32(
+            ev, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(d3 + i)));
+        ev = _mm256_min_epi32(ev, clamp);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(e + i), ev);
+        mn = _mm256_min_epi32(mn, ev);
+    }
+    // Horizontal min of the 8 lanes.
+    __m128i m4 = _mm_min_epi32(_mm256_castsi256_si128(mn),
+                               _mm256_extracti128_si256(mn, 1));
+    m4 = _mm_min_epi32(m4, _mm_shuffle_epi32(m4, 0x4e));
+    m4 = _mm_min_epi32(m4, _mm_shuffle_epi32(m4, 0xb1));
+    const __m256i shift = _mm256_broadcastd_epi32(m4);
+
+    // Pass 2: site-renormalized gathers (shifted energies are in
+    // [0, 255]: in-bounds in the 256-entry table), pad lanes masked
+    // to zero weight, and a per-block 64-bit weight total spilled
+    // alongside the weights themselves.
+    alignas(32) uint64_t
+        block_total[rsu::core::kMaxLabels / rsu::core::kSimdPadLanes];
+    for (int i = 0; i < padded_m; i += 8) {
+        const __m256i ev = _mm256_sub_epi32(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(e + i)),
+            shift);
+        __m256i wv = _mm256_i32gather_epi32(
+            reinterpret_cast<const int *>(w_of_e), ev, 4);
+        wv = _mm256_and_si256(
+            wv, _mm256_cmpgt_epi32(_mm256_set1_epi32(m - i), lane));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(weights + i), wv);
+        const __m256i b4 = _mm256_add_epi64(
+            _mm256_cvtepu32_epi64(_mm256_castsi256_si128(wv)),
+            _mm256_cvtepu32_epi64(_mm256_extracti128_si256(wv, 1)));
+        alignas(32) uint64_t a4[4];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(a4), b4);
+        block_total[i / 8] = a4[0] + a4[1] + a4[2] + a4[3];
+    }
+    uint64_t total = 0;
+    for (int b = 0; b < padded_m / 8; ++b)
+        total += block_total[b];
+
+    // Pass 3: a scalar scan over the block totals finds the one
+    // block whose prefix range brackets u — every earlier block
+    // contributes all 8 lanes to the count, every later one none —
+    // then a single in-register prefix resolves the lane. The scan
+    // terminates because u < total.
+    const uint64_t u = scaleDraw(draw, total);
+    uint64_t carry = 0;
+    int b = 0;
+    while (carry + block_total[b] <= u)
+        carry += block_total[b++];
+    const __m256i wv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(weights + 8 * b));
+    const __m256i lo = _mm256_add_epi64(
+        prefix4(_mm256_cvtepu32_epi64(_mm256_castsi256_si128(wv))),
+        _mm256_set1_epi64x(static_cast<long long>(carry)));
+    const __m256i hi = _mm256_add_epi64(
+        prefix4(_mm256_cvtepu32_epi64(
+            _mm256_extracti128_si256(wv, 1))),
+        _mm256_permute4x64_epi64(lo, 0xFF));
+    const __m256i uv =
+        _mm256_set1_epi64x(static_cast<long long>(u));
+    return 8 * b + countLanesLe(lo, hi, uv);
+}
+
+} // namespace rsu::mrf::detail
+
+#endif // x86

@@ -8,20 +8,27 @@ namespace rsu::runtime {
 ChromaticGibbsSampler::ChromaticGibbsSampler(
     rsu::mrf::GridMrf &mrf, ParallelSweepExecutor &executor,
     uint64_t seed, SamplerKind kind,
-    const rsu::core::RsuGConfig &rsu_base, rsu::mrf::SweepPath path)
+    const rsu::core::RsuGConfig &rsu_base, rsu::mrf::SweepPath path,
+    std::shared_ptr<const rsu::mrf::SweepTableSet> table_set)
     : mrf_(mrf), executor_(executor), kind_(kind), path_(path),
       shards_(executor.shards())
 {
     const int n = executor.shards();
     if (kind_ == SamplerKind::SoftwareGibbs) {
+        if (path_ != rsu::mrf::SweepPath::Reference)
+            tables_ = table_set
+                          ? std::make_unique<rsu::mrf::SweepTables>(
+                                mrf, std::move(table_set))
+                          : std::make_unique<rsu::mrf::SweepTables>(
+                                mrf);
         auto streams = rsu::rng::splitStreams(seed, n);
         for (int s = 0; s < n; ++s) {
             shards_[s].rng = streams[s];
             shards_[s].weights.resize(mrf.numLabels());
+            if (path_ == rsu::mrf::SweepPath::Simd)
+                shards_[s].fixed_weights.resize(
+                    tables_->paddedLabels());
         }
-        if (path_ == rsu::mrf::SweepPath::Table)
-            tables_ =
-                std::make_unique<rsu::mrf::SweepTables>(mrf);
     } else {
         auto config =
             rsu::mrf::RsuGibbsSampler::unitConfigFor(mrf, rsu_base);
@@ -45,9 +52,28 @@ ChromaticGibbsSampler::sweep()
     if (kind_ == SamplerKind::SoftwareGibbs) {
         if (tables_) {
             // Single-threaded before the shards fan out: rebuild
-            // the exp table if annealing moved the temperature.
+            // the exp tables if annealing moved the temperature.
             tables_->sync();
             const rsu::mrf::SweepTables &tables = *tables_;
+            if (path_ == rsu::mrf::SweepPath::Simd) {
+                executor_.sweepSplit(
+                    mrf_.width(), mrf_.height(),
+                    [this, &tables](int s, int x, int y) {
+                        auto &shard = shards_[s];
+                        tables.updateInteriorSimd(
+                            mrf_, shard.rng, shard.block,
+                            shard.fixed_weights.data(), shard.work,
+                            x, y);
+                    },
+                    [this, &tables](int s, int x, int y) {
+                        auto &shard = shards_[s];
+                        tables.updateBorderSimd(
+                            mrf_, shard.rng, shard.block,
+                            shard.fixed_weights.data(), shard.work,
+                            x, y);
+                    });
+                return;
+            }
             executor_.sweepSplit(
                 mrf_.width(), mrf_.height(),
                 [this, &tables](int s, int x, int y) {
@@ -100,6 +126,13 @@ ChromaticGibbsSampler::setTemperature(double t)
         shard.unit->initialize(mrf_.numLabels(), t);
         shard.unit->setLabelCodes(mrf_.labelCodes());
     }
+}
+
+void
+ChromaticGibbsSampler::setSimdIsa(rsu::core::SimdIsa isa)
+{
+    if (tables_)
+        tables_->setSimdIsa(isa);
 }
 
 rsu::mrf::SamplerWork

@@ -60,9 +60,16 @@ class ChromaticGibbsSampler
      *        conditionals from the model; Table precomputes one
      *        SweepTables shared read-only by every shard and sweeps
      *        through lookups — bit-identical results (see
-     *        mrf/fast_sweep.h), several times faster. Ignored by
-     *        RsuGibbs, whose device path is already table-driven
-     *        (and whose data2 operands are always staged).
+     *        mrf/fast_sweep.h), several times faster; Simd
+     *        vectorizes the candidate dimension over Q32
+     *        fixed-point weights — fastest, identical across
+     *        ISAs/runs/shard counts but not bit-identical to the
+     *        other two. Ignored by RsuGibbs, whose device path is
+     *        already table-driven (and whose data2 operands are
+     *        always staged).
+     * @param table_set pre-built static tables for this exact model
+     *        (Table/Simd paths; e.g. the InferenceEngine's cache) —
+     *        skips the singleton scan. nullptr builds a private set.
      */
     ChromaticGibbsSampler(rsu::mrf::GridMrf &mrf,
                           ParallelSweepExecutor &executor,
@@ -70,7 +77,9 @@ class ChromaticGibbsSampler
                           SamplerKind kind = SamplerKind::SoftwareGibbs,
                           const rsu::core::RsuGConfig &rsu_base = {},
                           rsu::mrf::SweepPath path =
-                              rsu::mrf::SweepPath::Reference);
+                              rsu::mrf::SweepPath::Reference,
+                          std::shared_ptr<const rsu::mrf::SweepTableSet>
+                              table_set = nullptr);
 
     /** One MCMC iteration: every site updated once, chromatically. */
     void sweep();
@@ -92,6 +101,12 @@ class ChromaticGibbsSampler
     rsu::mrf::SweepPath path() const { return path_; }
     int shards() const { return static_cast<int>(shards_.size()); }
 
+    /**
+     * Select the Simd path's kernel ISA (no-op on other paths).
+     * Any choice yields identical labels; call between sweeps.
+     */
+    void setSimdIsa(rsu::core::SimdIsa isa);
+
     /** Shard @p s's emulated device (RsuGibbs only; tests/wear). */
     rsu::core::RsuG &unit(int s) { return *shards_[s].unit; }
 
@@ -101,6 +116,8 @@ class ChromaticGibbsSampler
     {
         rsu::rng::Xoshiro256 rng{0};
         std::vector<double> weights;      // SoftwareGibbs scratch
+        std::vector<uint32_t> fixed_weights; // Simd scratch (padded)
+        rsu::rng::BlockRng block;         // Simd draw buffer
         std::unique_ptr<rsu::core::RsuG> unit; // RsuGibbs device
         rsu::mrf::SamplerWork work;
     };
@@ -112,7 +129,7 @@ class ChromaticGibbsSampler
     std::vector<Shard> shards_;
     // Shared read-only during sweeps; tables_ is re-synced (exp
     // rebuild on temperature change) single-threaded at sweep start.
-    std::unique_ptr<rsu::mrf::SweepTables> tables_;   // Table path
+    std::unique_ptr<rsu::mrf::SweepTables> tables_; // Table/Simd
     std::unique_ptr<rsu::core::Data2Table> data2_;    // RsuGibbs
 };
 

@@ -57,6 +57,77 @@ InferenceEngine::pendingJobs() const
     return unfinished_;
 }
 
+TableCacheStats
+InferenceEngine::tableCacheStats() const
+{
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    TableCacheStats stats;
+    stats.hits = table_hits_;
+    stats.misses = table_misses_;
+    stats.entries = static_cast<int>(table_cache_.size());
+    return stats;
+}
+
+std::shared_ptr<const rsu::mrf::SweepTableSet>
+InferenceEngine::acquireTableSet(const rsu::mrf::GridMrf &mrf,
+                                 const InferenceJob &job,
+                                 InferenceResult &result)
+{
+    TableCacheKey key;
+    key.singleton = job.singleton;
+    key.width = mrf.width();
+    key.height = mrf.height();
+    key.num_labels = mrf.numLabels();
+    key.energy = mrf.config().energy;
+    key.codes = mrf.labelCodes();
+
+    if (options_.table_cache_capacity > 0) {
+        std::lock_guard<std::mutex> lock(table_mutex_);
+        for (std::size_t i = 0; i < table_cache_.size(); ++i) {
+            if (table_cache_[i].key == key) {
+                // Touch: move to the back (most recently used).
+                auto entry = std::move(table_cache_[i]);
+                table_cache_.erase(table_cache_.begin() +
+                                   static_cast<long>(i));
+                table_cache_.push_back(std::move(entry));
+                ++table_hits_;
+                result.table_cache_hit = true;
+                return table_cache_.back().set;
+            }
+        }
+        ++table_misses_;
+    }
+
+    // Build outside the lock (the expensive part — a full singleton
+    // model scan, rows fanned out over the pool).
+    const auto start = std::chrono::steady_clock::now();
+    auto set = std::make_shared<const rsu::mrf::SweepTableSet>(
+        mrf, parallelRowRunner(pool_));
+    const std::chrono::duration<double> built =
+        std::chrono::steady_clock::now() - start;
+    result.table_build_seconds = built.count();
+
+    if (options_.table_cache_capacity > 0) {
+        std::lock_guard<std::mutex> lock(table_mutex_);
+        // A racing job may have inserted this model while we built;
+        // don't cache a duplicate (our identical set still serves
+        // this job, then dies with it).
+        bool present = false;
+        for (const auto &entry : table_cache_)
+            if (entry.key == key) {
+                present = true;
+                break;
+            }
+        if (!present) {
+            table_cache_.push_back({std::move(key), set});
+            while (static_cast<int>(table_cache_.size()) >
+                   options_.table_cache_capacity)
+                table_cache_.erase(table_cache_.begin());
+        }
+    }
+    return set;
+}
+
 void
 InferenceEngine::dispatcherLoop()
 {
@@ -96,11 +167,25 @@ InferenceEngine::execute(InferenceJob &job, uint64_t id)
 {
     const auto start = std::chrono::steady_clock::now();
 
+    InferenceResult result;
+    result.job_id = id;
+
     rsu::mrf::GridMrf mrf(job.config, *job.singleton);
-    if (job.initial_labels.empty())
-        mrf.initializeMaximumLikelihood();
-    else
+
+    // Table-backed paths: fetch or build the model's static tables
+    // first, so the ML initialization below can reuse the singleton
+    // scan instead of re-evaluating the model.
+    std::shared_ptr<const rsu::mrf::SweepTableSet> table_set;
+    if (job.sampler == SamplerKind::SoftwareGibbs &&
+        job.sweep_path != rsu::mrf::SweepPath::Reference)
+        table_set = acquireTableSet(mrf, job, result);
+
+    if (!job.initial_labels.empty())
         mrf.setLabels(job.initial_labels);
+    else if (table_set)
+        mrf.initializeMaximumLikelihood(table_set->singleton());
+    else
+        mrf.initializeMaximumLikelihood();
 
     int shards = job.shards;
     if (shards == 0)
@@ -108,10 +193,8 @@ InferenceEngine::execute(InferenceJob &job, uint64_t id)
     ParallelSweepExecutor executor(pool_, shards);
     ChromaticGibbsSampler sampler(mrf, executor, job.seed,
                                   job.sampler, job.rsu_base,
-                                  job.sweep_path);
+                                  job.sweep_path, table_set);
 
-    InferenceResult result;
-    result.job_id = id;
     result.shards = executor.shards();
     result.initial_energy = mrf.totalEnergy();
     result.energy_trace.push_back(result.initial_energy);

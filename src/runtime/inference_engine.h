@@ -14,6 +14,16 @@
  * Each job is reproducible in isolation: results depend only on
  * (job seed, shard count, model), never on what else was queued or
  * on thread scheduling.
+ *
+ * Jobs on the Table/Simd sweep paths need a SweepTableSet — one
+ * full scan of the singleton model. The engine keeps a small keyed
+ * LRU cache of those sets: repeat jobs against the same model
+ * (identity + static shape, temperature excluded — the set is
+ * temperature-independent) share one immutable set instead of each
+ * rescanning, so a serving mix of many short jobs on few models
+ * amortizes table construction to ~zero (see
+ * InferenceResult::table_build_seconds). Cache misses build the set
+ * with the per-row scan fanned out over the engine's own pool.
  */
 
 #ifndef RSU_RUNTIME_INFERENCE_ENGINE_H
@@ -58,9 +68,12 @@ struct InferenceJob
 
     /** SoftwareGibbs realization: Table sweeps through precomputed
      * lookup tables — bit-identical to Reference per (seed, shards),
-     * several times faster. Table by default: serving traffic should
-     * take the fast path unless a job explicitly asks to exercise
-     * the reference loop. */
+     * several times faster. Simd is faster still (vectorized Q32
+     * fixed-point weights; identical across ISAs/runs/shard counts,
+     * not bit-identical to the other two). Table/Simd jobs share
+     * static tables through the engine's cache. Table by default:
+     * serving traffic should take a fast path unless a job
+     * explicitly asks to exercise the reference loop. */
     rsu::mrf::SweepPath sweep_path = rsu::mrf::SweepPath::Table;
 
     /** Per-shard RSU-G template (RsuGibbs only); energy datapath is
@@ -92,6 +105,14 @@ struct InferenceResult
     rsu::mrf::SamplerWork work; //!< summed over shards
     PhaseTiming phase_timing;   //!< per-colour-phase wall clock
     double elapsed_seconds = 0.0;
+
+    /** Wall clock spent building this job's SweepTableSet; ~0 when
+     * the engine's table cache already held the model's set
+     * (table_cache_hit) or the path needs no tables (Reference /
+     * RsuGibbs). */
+    double table_build_seconds = 0.0;
+    bool table_cache_hit = false;
+
     int sweeps_run = 0;
     int shards = 0;
     uint64_t job_id = 0;
@@ -110,6 +131,18 @@ struct EngineOptions
     /** Default shard count for jobs that leave shards = 0;
      * 0 = the pool's thread count. */
     int default_shards = 0;
+
+    /** SweepTableSet cache entries kept (LRU eviction); 0 disables
+     * caching — every Table/Simd job builds a private set. */
+    int table_cache_capacity = 16;
+};
+
+/** Table-cache effectiveness counters (see tableCacheStats()). */
+struct TableCacheStats
+{
+    uint64_t hits = 0;   //!< jobs served an already-built set
+    uint64_t misses = 0; //!< jobs that had to build (then insert)
+    int entries = 0;     //!< sets currently cached
 };
 
 /** Queues, batches, and executes inference jobs on a shared pool. */
@@ -138,6 +171,9 @@ class InferenceEngine
 
     int threads() const { return pool_.size(); }
 
+    /** Snapshot of the SweepTableSet cache counters. */
+    TableCacheStats tableCacheStats() const;
+
   private:
     struct QueuedJob
     {
@@ -146,8 +182,46 @@ class InferenceEngine
         uint64_t id = 0;
     };
 
+    /**
+     * What makes two jobs' static tables interchangeable: the same
+     * singleton data source (by identity — the model interface is
+     * opaque, so value equality is unknowable) and the same static
+     * shape. Temperature is deliberately absent: SweepTableSet holds
+     * no temperature-dependent state, so annealing jobs and
+     * fixed-temperature jobs on one model share one set.
+     */
+    struct TableCacheKey
+    {
+        const rsu::mrf::SingletonModel *singleton = nullptr;
+        int width = 0;
+        int height = 0;
+        int num_labels = 0;
+        rsu::core::EnergyConfig energy;
+        std::vector<rsu::mrf::Label> codes;
+
+        bool operator==(const TableCacheKey &) const = default;
+    };
+
+    struct TableCacheEntry
+    {
+        TableCacheKey key;
+        std::shared_ptr<const rsu::mrf::SweepTableSet> set;
+    };
+
     void dispatcherLoop();
     InferenceResult execute(InferenceJob &job, uint64_t id);
+
+    /**
+     * The cached set for @p mrf's model, building (parallel row
+     * scan) and inserting on a miss. Sets @p result's
+     * table_build_seconds / table_cache_hit. Concurrent jobs on one
+     * new model may race to build — both sets are identical, the
+     * loser's is dropped; the build itself runs outside the cache
+     * lock so jobs on other models are never stalled behind it.
+     */
+    std::shared_ptr<const rsu::mrf::SweepTableSet>
+    acquireTableSet(const rsu::mrf::GridMrf &mrf,
+                    const InferenceJob &job, InferenceResult &result);
 
     Options options_;
     ThreadPool pool_;
@@ -158,6 +232,13 @@ class InferenceEngine
     bool stop_ = false;
     int unfinished_ = 0;
     uint64_t next_id_ = 1;
+
+    // Table cache (own lock: held only for lookup/insert, never
+    // while building, so it cannot serialize job execution).
+    mutable std::mutex table_mutex_;
+    std::vector<TableCacheEntry> table_cache_; // front = LRU victim
+    uint64_t table_hits_ = 0;
+    uint64_t table_misses_ = 0;
 };
 
 } // namespace rsu::runtime

@@ -1,8 +1,32 @@
 #include "runtime/parallel_sweep.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rsu::runtime {
+
+rsu::core::RowParallelFor
+parallelRowRunner(ThreadPool &pool)
+{
+    return [&pool](int n, const std::function<void(int)> &fn) {
+        if (n <= 1 || pool.size() <= 1) {
+            for (int i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        const int chunks = std::min(n, pool.size() * 4);
+        const auto bands = shardRows(n, chunks);
+        Latch latch(chunks);
+        for (int c = 0; c < chunks; ++c) {
+            pool.submit([&bands, &fn, &latch, c] {
+                for (int i = bands[c].y0; i < bands[c].y1; ++i)
+                    fn(i);
+                latch.countDown();
+            });
+        }
+        latch.wait();
+    };
+}
 
 std::vector<RowBand>
 shardRows(int height, int shards)

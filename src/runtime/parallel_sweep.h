@@ -29,10 +29,23 @@
 #include <functional>
 #include <vector>
 
+#include "core/tables.h"
 #include "mrf/schedule.h"
 #include "runtime/thread_pool.h"
 
 namespace rsu::runtime {
+
+/**
+ * A core::RowParallelFor that fans row fills out over @p pool
+ * (used to parallelize SweepTableSet's singleton scan). Rows are
+ * cut into contiguous chunks, ~4 per worker for load balance; the
+ * caller's thread blocks until every row ran. Falls back to a
+ * sequential loop for tiny row counts or a single-worker pool.
+ * The produced table is identical either way — each row's fill is
+ * independent, so only wall clock changes. @p pool must outlive
+ * the returned callable.
+ */
+rsu::core::RowParallelFor parallelRowRunner(ThreadPool &pool);
 
 /** Half-open row range [y0, y1) owned by one shard. */
 struct RowBand

@@ -1,0 +1,723 @@
+/**
+ * @file
+ * Simd sweep path tests.
+ *
+ * The Simd path's contract differs from the Table path's: it is NOT
+ * bit-identical to the reference sampler (weights are Q32-quantized)
+ * but it IS self-deterministic — AVX2, SSE2, and the scalar fallback
+ * must produce *identical* label fields for the same (seed,
+ * schedule, shard count). These tests enforce that lane-equivalence
+ * contract across the sequential and chromatic drivers, check each
+ * new table/kernel building block against its definition, establish
+ * statistical correctness of the fixed-point draw with chi-square
+ * tests against the exact conditional distribution, and cover the
+ * engine's cross-job SweepTableSet cache.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/simd.h"
+#include "core/tables.h"
+#include "core/types.h"
+#include "mrf/fast_sweep.h"
+#include "mrf/gibbs.h"
+#include "mrf/grid_mrf.h"
+#include "mrf/schedule.h"
+#include "rng/block.h"
+#include "rng/xoshiro256.h"
+#include "runtime/chromatic_sampler.h"
+#include "runtime/inference_engine.h"
+#include "runtime/parallel_sweep.h"
+#include "runtime/thread_pool.h"
+#include "vision/segmentation.h"
+#include "vision/synthetic.h"
+
+namespace {
+
+using rsu::core::EnergyConfig;
+using rsu::core::EnergyUnit;
+using rsu::core::FixedExpTable;
+using rsu::core::Label;
+using rsu::core::LabelMode;
+using rsu::core::SimdIsa;
+using rsu::core::TransposedDoubletonTable;
+using rsu::mrf::GibbsSampler;
+using rsu::mrf::GridMrf;
+using rsu::mrf::MrfConfig;
+using rsu::mrf::Schedule;
+using rsu::mrf::SweepPath;
+using rsu::mrf::SweepTables;
+using rsu::runtime::ChromaticGibbsSampler;
+using rsu::runtime::InferenceEngine;
+using rsu::runtime::InferenceJob;
+using rsu::runtime::ParallelSweepExecutor;
+using rsu::runtime::SamplerKind;
+using rsu::runtime::ThreadPool;
+
+/** A small segmentation problem with deterministic content. */
+struct Problem
+{
+    rsu::vision::SegmentationScene scene;
+    rsu::vision::SegmentationModel model;
+    MrfConfig config;
+
+    Problem(int width, int height, int labels, uint64_t seed)
+        : scene(makeScene(width, height, labels, seed)),
+          model(scene.image, scene.region_means),
+          config(rsu::vision::segmentationConfig(scene.image, labels))
+    {
+    }
+
+    static rsu::vision::SegmentationScene
+    makeScene(int width, int height, int labels, uint64_t seed)
+    {
+        rsu::rng::Xoshiro256 rng(seed);
+        return rsu::vision::makeSegmentationScene(width, height,
+                                                  labels, 3.0, rng);
+    }
+};
+
+/** Labels after @p sweeps sequential Simd sweeps on @p isa. */
+std::vector<Label>
+runSimdSequential(const Problem &p, uint64_t seed,
+                  Schedule schedule, SimdIsa isa, int sweeps)
+{
+    GridMrf mrf(p.config, p.model);
+    mrf.initializeMaximumLikelihood();
+    GibbsSampler sampler(mrf, seed, schedule, SweepPath::Simd);
+    sampler.setSimdIsa(isa);
+    sampler.run(sweeps);
+    return mrf.labels();
+}
+
+/** Labels after @p sweeps chromatic Simd sweeps on @p isa. */
+std::vector<Label>
+runSimdChromatic(const Problem &p, uint64_t seed, int shards,
+                 int pool_threads, SimdIsa isa, int sweeps)
+{
+    GridMrf mrf(p.config, p.model);
+    mrf.initializeMaximumLikelihood();
+    ThreadPool pool(pool_threads);
+    ParallelSweepExecutor executor(pool, shards);
+    ChromaticGibbsSampler sampler(mrf, executor, seed,
+                                  SamplerKind::SoftwareGibbs, {},
+                                  SweepPath::Simd);
+    sampler.setSimdIsa(isa);
+    sampler.run(sweeps);
+    return mrf.labels();
+}
+
+/** Pearson statistic of @p counts against @p probs * @p n. */
+double
+chiSquareStat(const std::vector<int> &counts,
+              const std::vector<double> &probs, int n)
+{
+    double stat = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        const double expected = probs[i] * n;
+        if (expected < 1e-9) {
+            EXPECT_EQ(counts[i], 0) << "impossible candidate drawn";
+            continue;
+        }
+        const double d = counts[i] - expected;
+        stat += d * d / expected;
+    }
+    return stat;
+}
+
+/** Wilson-Hilferty upper critical value; z = 3.0902 is the
+ * standard-normal quantile for alpha = 1e-3. The draws are seeded,
+ * so a pass is reproducible, not probabilistic. */
+double
+chiSquareCritical(int df, double z = 3.0902)
+{
+    const double a = 2.0 / (9.0 * df);
+    const double c = 1.0 - a + z * std::sqrt(a);
+    return df * c * c * c;
+}
+
+TEST(SimdIsaTest, ResolutionClampsToDetected)
+{
+    using rsu::core::resolveSimdIsa;
+    // No request: whatever the hardware offers.
+    EXPECT_EQ(resolveSimdIsa(nullptr, SimdIsa::Avx2), SimdIsa::Avx2);
+    EXPECT_EQ(resolveSimdIsa("", SimdIsa::Sse2), SimdIsa::Sse2);
+    // A request is a ceiling: it can narrow, never widen.
+    EXPECT_EQ(resolveSimdIsa("scalar", SimdIsa::Avx2),
+              SimdIsa::Scalar);
+    EXPECT_EQ(resolveSimdIsa("sse2", SimdIsa::Avx2), SimdIsa::Sse2);
+    EXPECT_EQ(resolveSimdIsa("avx2", SimdIsa::Sse2), SimdIsa::Sse2);
+    EXPECT_EQ(resolveSimdIsa("avx2", SimdIsa::Avx2), SimdIsa::Avx2);
+    // Unrecognized strings fall back to detected.
+    EXPECT_EQ(resolveSimdIsa("avx512", SimdIsa::Sse2),
+              SimdIsa::Sse2);
+
+    EXPECT_EQ(rsu::core::simdLanes(SimdIsa::Scalar), 1);
+    EXPECT_EQ(rsu::core::simdLanes(SimdIsa::Sse2), 4);
+    EXPECT_EQ(rsu::core::simdLanes(SimdIsa::Avx2), 8);
+    EXPECT_STREQ(rsu::core::simdIsaName(SimdIsa::Avx2), "avx2");
+}
+
+TEST(SimdIsaTest, EnvVarNarrowsActiveIsa)
+{
+    const SimdIsa detected = rsu::core::detectedSimdIsa();
+    ASSERT_EQ(setenv("RSU_SIMD", "scalar", 1), 0);
+    EXPECT_EQ(rsu::core::activeSimdIsa(), SimdIsa::Scalar);
+
+    // A SweepTables built under the env override adopts it.
+    Problem p(9, 7, 4, 3);
+    GridMrf mrf(p.config, p.model);
+    SweepTables tables(mrf);
+    EXPECT_EQ(tables.simdIsa(), SimdIsa::Scalar);
+
+    ASSERT_EQ(setenv("RSU_SIMD", "not-an-isa", 1), 0);
+    EXPECT_EQ(rsu::core::activeSimdIsa(), detected);
+
+    ASSERT_EQ(unsetenv("RSU_SIMD"), 0);
+    EXPECT_EQ(rsu::core::activeSimdIsa(), detected);
+}
+
+TEST(BlockRngTest, BufferedSequenceIdenticalToDirect)
+{
+    for (const int capacity : {1, 7, 256}) {
+        rsu::rng::Xoshiro256 direct(91), buffered(91);
+        rsu::rng::BlockRng block(capacity);
+        for (int i = 0; i < 600; ++i)
+            ASSERT_EQ(block.next(buffered), direct())
+                << "capacity=" << capacity << " i=" << i;
+    }
+}
+
+TEST(FixedExpTableTest, QuantizesExpWithUnitFloor)
+{
+    FixedExpTable table;
+    for (const double t : {16.0, 8.0, 2.5, 0.7}) {
+        table.rebuild(t, 9);
+        EXPECT_EQ(table.version(), 9u);
+        EXPECT_EQ(table.temperature(), t);
+        // exp(0) = 1 maps to the full scale.
+        EXPECT_EQ(table.at(0), 4294967295u);
+        for (int e = 0; e <= rsu::core::kEnergyMax; ++e) {
+            const long long q = std::llround(
+                std::exp(-static_cast<double>(e) / t) *
+                FixedExpTable::kScale);
+            const uint32_t expected =
+                static_cast<uint32_t>(q < 1 ? 1 : q);
+            ASSERT_EQ(table.at(e), expected) << "e=" << e;
+            ASSERT_GE(table.at(e), 1u); // nonzero-probability floor
+        }
+        // Monotone non-increasing in energy.
+        for (int e = 1; e <= rsu::core::kEnergyMax; ++e)
+            ASSERT_LE(table.at(e), table.at(e - 1));
+    }
+    EXPECT_THROW(table.rebuild(0.0, 0), std::invalid_argument);
+}
+
+TEST(TransposedDoubletonTableTest, MatchesTransposeWithZeroPad)
+{
+    std::vector<EnergyConfig> configs(3);
+    configs[1].doubleton_weight = 8;
+    configs[2].mode = LabelMode::Vector;
+    configs[2].doubleton_cap = 9;
+
+    std::vector<Label> codes;
+    for (int c = 0; c < rsu::core::kMaxLabels; c += 5)
+        codes.push_back(static_cast<Label>(c));
+    const int padded = 16; // next lane multiple above 13 codes
+
+    for (const auto &config : configs) {
+        const EnergyUnit unit(config);
+        const rsu::core::DoubletonTable fwd(unit, codes);
+        const TransposedDoubletonTable rev(unit, codes, padded);
+        ASSERT_EQ(rev.numCandidates(),
+                  static_cast<int>(codes.size()));
+        ASSERT_EQ(rev.paddedCandidates(), padded);
+        for (int c = 0; c < rsu::core::kMaxLabels; ++c) {
+            const auto code = static_cast<Label>(c);
+            for (int i = 0; i < rev.numCandidates(); ++i)
+                ASSERT_EQ(rev.at(code, i), fwd.at(i, code));
+            for (int i = rev.numCandidates(); i < padded; ++i)
+                ASSERT_EQ(rev.at(code, i), 0);
+        }
+    }
+    EXPECT_THROW(
+        TransposedDoubletonTable(EnergyUnit(EnergyConfig{}), codes, 4),
+        std::invalid_argument);
+}
+
+TEST(PaddedSingletonTest, PadLanesSaturateAndParallelBuildMatches)
+{
+    Problem p(23, 17, 5, 11);
+    GridMrf mrf(p.config, p.model);
+    const int padded = 8; // 5 labels padded to one 8-lane block
+
+    const auto sequential = mrf.buildSingletonTable(padded, {});
+    EXPECT_EQ(sequential.numLabels(), 5);
+    EXPECT_EQ(sequential.paddedLabels(), padded);
+
+    ThreadPool pool(3);
+    const auto parallel = mrf.buildSingletonTable(
+        padded, rsu::runtime::parallelRowRunner(pool));
+
+    const auto unpadded = mrf.buildSingletonTable();
+    for (int site = 0; site < mrf.size(); ++site) {
+        for (int i = 0; i < 5; ++i) {
+            ASSERT_EQ(sequential.at(site, i), unpadded.at(site, i));
+            ASSERT_EQ(parallel.at(site, i), unpadded.at(site, i));
+        }
+        for (int i = 5; i < padded; ++i) {
+            // Pad energies saturate so the shared clamp keeps them
+            // at the bottom of the weight table.
+            ASSERT_EQ(sequential.at(site, i), rsu::core::kEnergyMax);
+            ASSERT_EQ(parallel.at(site, i), rsu::core::kEnergyMax);
+        }
+        ASSERT_EQ(sequential.argminRow(site),
+                  parallel.argminRow(site));
+    }
+}
+
+TEST(SimdLaneEquivalence, SequentialAcrossSeedsAndSchedules)
+{
+    const SimdIsa widest = rsu::core::detectedSimdIsa();
+    Problem p(29, 22, 6, 17);
+    for (const uint64_t seed : {1ull, 7ull, 42ull}) {
+        for (const Schedule schedule :
+             {Schedule::Raster, Schedule::Checkerboard}) {
+            const auto scalar = runSimdSequential(
+                p, seed, schedule, SimdIsa::Scalar, 5);
+            const auto vector =
+                runSimdSequential(p, seed, schedule, widest, 5);
+            ASSERT_EQ(scalar, vector)
+                << "seed=" << seed << " widest="
+                << rsu::core::simdIsaName(widest);
+            if (widest == SimdIsa::Avx2) {
+                const auto sse2 = runSimdSequential(
+                    p, seed, schedule, SimdIsa::Sse2, 5);
+                ASSERT_EQ(scalar, sse2) << "seed=" << seed;
+            }
+        }
+    }
+}
+
+TEST(SimdLaneEquivalence, ChromaticAcrossShardCounts)
+{
+    const SimdIsa widest = rsu::core::detectedSimdIsa();
+    Problem p(37, 26, 5, 29);
+    for (const int shards : {1, 2, 4, 8}) {
+        const auto scalar = runSimdChromatic(
+            p, 99, shards, 2, SimdIsa::Scalar, 3);
+        // Pool size must not matter either.
+        const auto vector =
+            runSimdChromatic(p, 99, shards, 3, widest, 3);
+        ASSERT_EQ(scalar, vector) << "shards=" << shards;
+    }
+}
+
+TEST(SimdLaneEquivalence, OneShardChromaticMatchesSequential)
+{
+    Problem p(23, 18, 4, 47);
+    const SimdIsa widest = rsu::core::detectedSimdIsa();
+    const auto sequential = runSimdSequential(
+        p, 5, Schedule::Checkerboard, widest, 4);
+    const auto chromatic =
+        runSimdChromatic(p, 5, 1, 2, widest, 4);
+    EXPECT_EQ(sequential, chromatic);
+}
+
+TEST(SimdLaneEquivalence, UnderAnnealingRamp)
+{
+    const SimdIsa widest = rsu::core::detectedSimdIsa();
+    Problem p(21, 16, 4, 13);
+
+    GridMrf a_mrf(p.config, p.model);
+    a_mrf.initializeMaximumLikelihood();
+    GibbsSampler a(a_mrf, 31, Schedule::Checkerboard,
+                   SweepPath::Simd);
+    a.setSimdIsa(SimdIsa::Scalar);
+
+    GridMrf b_mrf(p.config, p.model);
+    b_mrf.initializeMaximumLikelihood();
+    GibbsSampler b(b_mrf, 31, Schedule::Checkerboard,
+                   SweepPath::Simd);
+    b.setSimdIsa(widest);
+
+    double t = p.config.temperature;
+    for (int stage = 0; stage < 5; ++stage) {
+        a.setTemperature(t);
+        b.setTemperature(t);
+        a.run(2);
+        b.run(2);
+        ASSERT_EQ(a_mrf.labels(), b_mrf.labels())
+            << "stage=" << stage << " t=" << t;
+        // The fixed-point table must have followed the ramp.
+        EXPECT_EQ(a.tables()->fixedExpTable().temperature(), t);
+        t *= 0.6;
+    }
+}
+
+TEST(SimdEdgeCases, PaddedLabelCounts)
+{
+    // M = 2 (six pad lanes) and M = 8 (no pad lanes): both must
+    // sweep correctly and stay lane-equivalent.
+    const SimdIsa widest = rsu::core::detectedSimdIsa();
+    for (const int labels : {2, 8}) {
+        Problem p(19, 14, labels, 53);
+        GridMrf probe(p.config, p.model);
+        SweepTables tables(probe);
+        EXPECT_EQ(tables.paddedLabels(), 8);
+
+        const auto scalar = runSimdSequential(
+            p, 23, Schedule::Checkerboard, SimdIsa::Scalar, 5);
+        const auto vector = runSimdSequential(
+            p, 23, Schedule::Checkerboard, widest, 5);
+        ASSERT_EQ(scalar, vector) << "labels=" << labels;
+        // Pad lanes must never be selected: every drawn label is a
+        // valid candidate code.
+        for (const Label l : vector)
+            ASSERT_GE(probe.indexOfCode(l), 0);
+    }
+}
+
+TEST(SimdEdgeCases, VectorModeLargeM)
+{
+    // Motion-style 7x7 window: 49 vector codes, padded to 56 —
+    // exercises non-contiguous codes and a multi-block candidate
+    // loop with a partial final block.
+    class WarpModel : public rsu::mrf::SingletonModel
+    {
+      public:
+        uint8_t
+        data1(int x, int y) const override
+        {
+            return static_cast<uint8_t>((3 * x + 5 * y) & 63);
+        }
+        uint8_t
+        data2(int x, int y, Label label) const override
+        {
+            return static_cast<uint8_t>(
+                (x + 2 * y + 7 * rsu::core::labelX1(label) +
+                 11 * rsu::core::labelX2(label)) &
+                63);
+        }
+    };
+
+    MrfConfig config;
+    config.width = 15;
+    config.height = 11;
+    config.num_labels = 49;
+    for (int dy = 0; dy < 7; ++dy)
+        for (int dx = 0; dx < 7; ++dx)
+            config.label_codes.push_back(
+                rsu::core::packVectorLabel(dx, dy));
+    config.energy.mode = LabelMode::Vector;
+    config.energy.doubleton_weight = 4;
+    config.energy.doubleton_cap = 5;
+    config.temperature = 6.0;
+
+    const WarpModel model;
+    const SimdIsa widest = rsu::core::detectedSimdIsa();
+
+    GridMrf probe(config, model);
+    SweepTables tables(probe);
+    EXPECT_EQ(tables.paddedLabels(), 56);
+
+    std::vector<std::vector<Label>> fields;
+    for (const SimdIsa isa : {SimdIsa::Scalar, widest}) {
+        GridMrf mrf(config, model);
+        mrf.initializeMaximumLikelihood();
+        GibbsSampler sampler(mrf, 19, Schedule::Checkerboard,
+                             SweepPath::Simd);
+        sampler.setSimdIsa(isa);
+        sampler.run(5);
+        fields.push_back(mrf.labels());
+    }
+    EXPECT_EQ(fields[0], fields[1]);
+    for (const Label l : fields[0])
+        ASSERT_GE(probe.indexOfCode(l), 0);
+}
+
+TEST(SimdEdgeCases, DegenerateLattices)
+{
+    // 1xN / Nx1 / tiny lattices: every site runs the border kernel.
+    const SimdIsa widest = rsu::core::detectedSimdIsa();
+    const std::pair<int, int> dims[] = {
+        {1, 24}, {24, 1}, {1, 1}, {2, 15}, {15, 2}};
+    for (const auto &[w, h] : dims) {
+        Problem p(w, h, 3, 61);
+        for (const Schedule schedule :
+             {Schedule::Raster, Schedule::Checkerboard}) {
+            const auto scalar = runSimdSequential(
+                p, 3, schedule, SimdIsa::Scalar, 6);
+            const auto vector =
+                runSimdSequential(p, 3, schedule, widest, 6);
+            ASSERT_EQ(scalar, vector) << w << "x" << h;
+        }
+    }
+}
+
+TEST(SimdWorkCounters, LogicalCostsMatchReference)
+{
+    Problem p(17, 13, 5, 37);
+    GridMrf ref_mrf(p.config, p.model);
+    ref_mrf.initializeMaximumLikelihood();
+    GibbsSampler reference(ref_mrf, 7);
+    reference.run(3);
+
+    GridMrf simd_mrf(p.config, p.model);
+    simd_mrf.initializeMaximumLikelihood();
+    GibbsSampler simd(simd_mrf, 7, Schedule::Checkerboard,
+                      SweepPath::Simd);
+    simd.run(3);
+
+    // The Simd path replaces the arithmetic, not the workload: the
+    // architecture cost models must see identical logical counts.
+    EXPECT_EQ(reference.work().site_updates,
+              simd.work().site_updates);
+    EXPECT_EQ(reference.work().energy_evals,
+              simd.work().energy_evals);
+    EXPECT_EQ(reference.work().exp_calls, simd.work().exp_calls);
+    EXPECT_EQ(reference.work().random_draws,
+              simd.work().random_draws);
+}
+
+TEST(SimdChiSquare, ConditionalDrawsMatchExactDistribution)
+{
+    // Repeated single-site updates with frozen neighbours are i.i.d.
+    // draws from the site's full conditional (a site's conditional
+    // does not depend on its own label). Compare the empirical
+    // histogram against GridMrf::conditionalDistribution — the
+    // exact double-precision softmax — at alpha = 1e-3. Seeded, so
+    // deterministic: this can only fail if the fixed-point draw is
+    // actually biased beyond quantization noise.
+    Problem p(11, 9, 5, 67);
+    const int n = 60000;
+    const std::pair<int, int> sites[] = {
+        {5, 4},  // interior: vectorized kernel
+        {0, 0},  // corner: border kernel, 2 neighbours
+        {5, 0},  // edge: border kernel, 3 neighbours
+    };
+    for (const auto &[x, y] : sites) {
+        GridMrf mrf(p.config, p.model);
+        mrf.initializeMaximumLikelihood();
+        const auto probs = mrf.conditionalDistribution(x, y);
+        GibbsSampler sampler(mrf, 101, Schedule::Checkerboard,
+                             SweepPath::Simd);
+        std::vector<int> counts(mrf.numLabels(), 0);
+        for (int i = 0; i < n; ++i) {
+            const Label l = sampler.updateSite(x, y);
+            const int idx = mrf.indexOfCode(l);
+            ASSERT_GE(idx, 0);
+            ++counts[idx];
+        }
+        const double stat = chiSquareStat(counts, probs, n);
+        const double crit = chiSquareCritical(mrf.numLabels() - 1);
+        EXPECT_LT(stat, crit) << "site (" << x << ", " << y << ")";
+    }
+}
+
+TEST(SimdChiSquare, ScalarKernelDrawsMatchToo)
+{
+    // Same check through the forced-scalar kernel: lane equivalence
+    // already proves scalar == vector draws, but this pins the
+    // statistical contract directly on the portable code path every
+    // platform runs.
+    Problem p(11, 9, 4, 71);
+    const int n = 60000;
+    GridMrf mrf(p.config, p.model);
+    mrf.initializeMaximumLikelihood();
+    const auto probs = mrf.conditionalDistribution(4, 4);
+    GibbsSampler sampler(mrf, 103, Schedule::Checkerboard,
+                         SweepPath::Simd);
+    sampler.setSimdIsa(SimdIsa::Scalar);
+    std::vector<int> counts(mrf.numLabels(), 0);
+    for (int i = 0; i < n; ++i)
+        ++counts[mrf.indexOfCode(sampler.updateSite(4, 4))];
+    EXPECT_LT(chiSquareStat(counts, probs, n),
+              chiSquareCritical(mrf.numLabels() - 1));
+}
+
+TEST(SimdEnergyTrajectory, TracksTablePathWithinTolerance)
+{
+    // Simd is a different chain than Table (quantized weights draw
+    // different variates) but samples the same stationary
+    // distribution, so both must relax to statistically equal
+    // energies. Deterministic seeds make the comparison exact and
+    // repeatable.
+    Problem p(48, 36, 6, 83);
+    auto relax = [&](SweepPath path) {
+        GridMrf mrf(p.config, p.model);
+        mrf.initializeMaximumLikelihood();
+        GibbsSampler sampler(mrf, 59, Schedule::Checkerboard, path);
+        sampler.run(20); // burn-in
+        double mean = 0.0;
+        const int probes = 10;
+        for (int i = 0; i < probes; ++i) {
+            sampler.run(2);
+            mean += static_cast<double>(mrf.totalEnergy());
+        }
+        return mean / probes;
+    };
+    const double table = relax(SweepPath::Table);
+    const double simd = relax(SweepPath::Simd);
+    EXPECT_NEAR(simd, table, 0.03 * table)
+        << "table=" << table << " simd=" << simd;
+}
+
+TEST(EngineTableCache, RepeatJobsHitAndSkipRebuild)
+{
+    Problem p(33, 25, 5, 19);
+    rsu::runtime::EngineOptions options;
+    options.threads = 2;
+    options.max_concurrent_jobs = 1; // serialize: hit is guaranteed
+    InferenceEngine engine(options);
+
+    InferenceJob job;
+    job.config = p.config;
+    job.singleton = &p.model;
+    job.sweeps = 3;
+    job.sweep_path = SweepPath::Simd;
+    job.seed = 11;
+    job.shards = 2;
+
+    const auto first = engine.submit(job).get();
+    EXPECT_FALSE(first.table_cache_hit);
+    EXPECT_GE(first.table_build_seconds, 0.0);
+
+    const auto second = engine.submit(job).get();
+    EXPECT_TRUE(second.table_cache_hit);
+    EXPECT_EQ(second.table_build_seconds, 0.0);
+
+    // Same model + same seed => same chain, cached tables or not.
+    EXPECT_EQ(first.labels, second.labels);
+    EXPECT_EQ(first.final_energy, second.final_energy);
+
+    // Table and Simd jobs share one static set (same key).
+    job.sweep_path = SweepPath::Table;
+    const auto third = engine.submit(job).get();
+    EXPECT_TRUE(third.table_cache_hit);
+
+    const auto stats = engine.tableCacheStats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(EngineTableCache, MatchesDirectChromaticSampler)
+{
+    Problem p(27, 21, 4, 23);
+    rsu::runtime::EngineOptions options;
+    options.threads = 2;
+    InferenceEngine engine(options);
+
+    InferenceJob job;
+    job.config = p.config;
+    job.singleton = &p.model;
+    job.sweeps = 4;
+    job.sweep_path = SweepPath::Simd;
+    job.seed = 77;
+    job.shards = 2;
+    const auto result = engine.submit(job).get();
+
+    const auto direct = runSimdChromatic(
+        p, 77, 2, 2, rsu::core::activeSimdIsa(), 4);
+    EXPECT_EQ(result.labels, direct);
+}
+
+TEST(EngineTableCache, DistinctModelsGetDistinctEntries)
+{
+    Problem a(21, 15, 4, 29);
+    Problem b(21, 15, 4, 31); // same shape, different model object
+    rsu::runtime::EngineOptions options;
+    options.threads = 2;
+    options.max_concurrent_jobs = 1;
+    InferenceEngine engine(options);
+
+    InferenceJob job;
+    job.sweeps = 2;
+    job.sweep_path = SweepPath::Table;
+    job.seed = 5;
+    job.shards = 1;
+
+    job.config = a.config;
+    job.singleton = &a.model;
+    engine.submit(job).get();
+    job.config = b.config;
+    job.singleton = &b.model;
+    engine.submit(job).get();
+
+    const auto stats = engine.tableCacheStats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.entries, 2);
+}
+
+TEST(EngineTableCache, CapacityBoundsEntriesWithLruEviction)
+{
+    Problem a(19, 13, 4, 37);
+    Problem b(19, 13, 4, 41);
+    rsu::runtime::EngineOptions options;
+    options.threads = 2;
+    options.max_concurrent_jobs = 1;
+    options.table_cache_capacity = 1;
+    InferenceEngine engine(options);
+
+    InferenceJob job;
+    job.sweeps = 2;
+    job.sweep_path = SweepPath::Table;
+    job.seed = 5;
+    job.shards = 1;
+
+    auto submit = [&](const Problem &p) {
+        job.config = p.config;
+        job.singleton = &p.model;
+        return engine.submit(job).get();
+    };
+
+    EXPECT_FALSE(submit(a).table_cache_hit); // miss: insert a
+    EXPECT_FALSE(submit(b).table_cache_hit); // miss: evicts a
+    EXPECT_FALSE(submit(a).table_cache_hit); // miss again: evicted
+    EXPECT_TRUE(submit(a).table_cache_hit);  // now cached
+    const auto stats = engine.tableCacheStats();
+    EXPECT_EQ(stats.entries, 1);
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(EngineTableCache, DisabledCacheAndReferencePathBypass)
+{
+    Problem p(17, 12, 3, 43);
+    rsu::runtime::EngineOptions options;
+    options.threads = 2;
+    options.max_concurrent_jobs = 1;
+    options.table_cache_capacity = 0;
+    InferenceEngine engine(options);
+
+    InferenceJob job;
+    job.config = p.config;
+    job.singleton = &p.model;
+    job.sweeps = 2;
+    job.seed = 5;
+    job.shards = 1;
+
+    job.sweep_path = SweepPath::Table;
+    EXPECT_FALSE(engine.submit(job).get().table_cache_hit);
+    EXPECT_FALSE(engine.submit(job).get().table_cache_hit);
+
+    // Reference jobs never touch tables at all.
+    job.sweep_path = SweepPath::Reference;
+    const auto ref = engine.submit(job).get();
+    EXPECT_FALSE(ref.table_cache_hit);
+    EXPECT_EQ(ref.table_build_seconds, 0.0);
+
+    const auto stats = engine.tableCacheStats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.entries, 0);
+}
+
+} // namespace
