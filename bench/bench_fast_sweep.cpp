@@ -54,6 +54,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -429,7 +430,7 @@ main(int argc, char **argv)
     runtime::InferenceEngine engine(engine_options);
     runtime::InferenceJob cache_job;
     cache_job.config = par_config;
-    cache_job.singleton = &par_model;
+    cache_job.singleton = {std::shared_ptr<const void>(), &par_model};
     cache_job.sweeps = 1;
     cache_job.sweep_path = mrf::SweepPath::Simd;
     cache_job.shards = 1;

@@ -4,8 +4,9 @@
  *
  * Benchmark numbers are meaningless without knowing what was built
  * and where it ran, so every JSON-emitting bench records a common
- * "metadata" object — hardware concurrency, CMake build type, and
- * the effective compiler flags (injected by bench/CMakeLists.txt as
+ * "metadata" object — hardware concurrency, the SIMD ISA the Simd
+ * sweep path selected at startup, CMake build type, and the
+ * effective compiler flags (injected by bench/CMakeLists.txt as
  * RSU_BUILD_TYPE / RSU_CXX_FLAGS definitions). Non-release builds
  * additionally get a warning banner on stderr and a "build_warning"
  * field in the metadata, mirroring the configure-time CMake warning:
@@ -19,6 +20,8 @@
 #include <cstdio>
 #include <cstring>
 #include <thread>
+
+#include "core/simd.h"
 
 #ifndef RSU_BUILD_TYPE
 #define RSU_BUILD_TYPE "unknown"
@@ -82,10 +85,13 @@ writeMetaJson(FILE *json, const char *extra_fields = nullptr)
     std::fprintf(json,
                  "  \"metadata\": {\n"
                  "    \"hardware_concurrency\": %u,\n"
+                 "    \"simd_isa\": \"%s\",\n"
                  "    \"build_type\": \"%s\",\n"
                  "    \"cxx_flags\": \"%s\",\n"
                  "    \"release_build\": %s",
-                 hardwareConcurrency(), buildType(), buildFlags(),
+                 hardwareConcurrency(),
+                 rsu::core::simdIsaName(rsu::core::activeSimdIsa()),
+                 buildType(), buildFlags(),
                  releaseBuild() ? "true" : "false");
     if (!releaseBuild())
         std::fprintf(json,

@@ -3,23 +3,26 @@
  * Chromatic runtime thread-scaling benchmark.
  *
  * Measures software-Gibbs sweeps/sec of the ParallelSweepExecutor
- * path as a function of worker-thread count on square segmentation
- * lattices — the software realization of the paper's Figure 4
- * parallelism argument, and the curve later sharding/serving PRs
- * must not regress. Results go to stdout as a table and to
- * BENCH_runtime_scaling.json as
- *   {"benchmark": "runtime_scaling", "labels": M,
+ * path as a function of worker-thread count on square lattices of
+ * any registered workload (WorkloadRegistry) — the software
+ * realization of the paper's Figure 4 parallelism argument, and the
+ * curve later sharding/serving PRs must not regress. Results go to
+ * stdout as a table and to BENCH_runtime_scaling.json as
+ *   {"benchmark": "runtime_scaling", "workload": W, "labels": M,
  *    "hardware_threads": H,
  *    "results": [{"size": N, "threads": T, "sweeps": S,
  *                 "sweeps_per_sec": R, "speedup": X}, ...]}
  * where speedup is relative to the 1-thread row of the same size.
  *
  * The JSON also carries the shared "metadata" object (hardware
- * concurrency, build type, compiler flags) from bench_meta.h.
+ * concurrency, SIMD ISA, build type, compiler flags) from
+ * bench_meta.h.
  *
  * Usage:
- *   bench_runtime_scaling [sizes-csv] [threads-csv] [labels]
- * Defaults: sizes 128,512,1024; threads 1,2,4,8; labels 8.
+ *   bench_runtime_scaling [workload] [sizes-csv] [threads-csv]
+ *                         [labels]
+ * Defaults: segmentation; sizes 128,512,1024; threads 1,2,4,8;
+ * labels 0 (the workload's default label count).
  */
 
 #include <chrono>
@@ -32,12 +35,10 @@
 
 #include "bench_meta.h"
 #include "mrf/grid_mrf.h"
-#include "rng/xoshiro256.h"
 #include "runtime/chromatic_sampler.h"
 #include "runtime/parallel_sweep.h"
 #include "runtime/thread_pool.h"
-#include "vision/segmentation.h"
-#include "vision/synthetic.h"
+#include "workload/registry.h"
 
 namespace {
 
@@ -76,16 +77,20 @@ main(int argc, char **argv)
 {
     using namespace rsu;
 
+    std::string name = "segmentation";
     std::vector<int> sizes = {128, 512, 1024};
     std::vector<int> threads = {1, 2, 4, 8};
-    int labels = 8;
+    int labels = 0;
     if (argc > 1)
-        sizes = parseCsv(argv[1]);
+        name = argv[1];
     if (argc > 2)
-        threads = parseCsv(argv[2]);
+        sizes = parseCsv(argv[2]);
     if (argc > 3)
-        labels = std::atoi(argv[3]);
+        threads = parseCsv(argv[3]);
+    if (argc > 4)
+        labels = std::atoi(argv[4]);
 
+    const auto &registry = workload::WorkloadRegistry::builtin();
     const auto all_positive = [](const std::vector<int> &values) {
         if (values.empty())
             return false;
@@ -94,33 +99,38 @@ main(int argc, char **argv)
                 return false;
         return true;
     };
-    if (!all_positive(sizes) || !all_positive(threads) ||
-        labels < 2) {
+    if (!registry.contains(name) || !all_positive(sizes) ||
+        !all_positive(threads) || labels < 0) {
         std::fprintf(stderr,
-                     "usage: %s [sizes-csv] [threads-csv] [labels]\n"
-                     "sizes/threads must be positive integers, "
-                     "labels >= 2\n",
+                     "usage: %s [workload] [sizes-csv] "
+                     "[threads-csv] [labels]\n"
+                     "workloads:",
                      argv[0]);
+        for (const auto &known : registry.names())
+            std::fprintf(stderr, " %s", known.c_str());
+        std::fprintf(stderr, "\nsizes/threads must be positive "
+                             "integers, labels 0 = workload "
+                             "default\n");
         return 2;
     }
 
     bench::warnIfNotRelease();
     const int hardware = runtime::ThreadPool::hardwareThreads();
-    std::printf("chromatic runtime scaling — software Gibbs, %d "
-                "labels, %d hardware thread(s)\n\n",
-                labels, hardware);
+    int num_labels = 0; // filled from the first instance
+    std::printf("chromatic runtime scaling — software Gibbs, '%s' "
+                "workload, %d hardware thread(s)\n\n",
+                name.c_str(), hardware);
     std::printf("%8s %8s %7s %14s %8s\n", "size", "threads",
                 "sweeps", "sweeps/sec", "speedup");
 
     std::vector<Row> rows;
     for (const int size : sizes) {
-        rng::Xoshiro256 scene_rng(2016);
-        const auto scene = vision::makeSegmentationScene(
-            size, size, labels, 3.0, scene_rng);
-        vision::SegmentationModel model(scene.image,
-                                        scene.region_means);
-        const auto config =
-            vision::segmentationConfig(scene.image, labels);
+        workload::SceneOptions scene;
+        scene.width = size;
+        scene.height = size;
+        scene.labels = labels;
+        const auto problem = registry.make(name, scene);
+        num_labels = problem.config.num_labels;
 
         // Enough sweeps that a measurement is tens of milliseconds
         // even at the largest size, without making 1024^2 painful.
@@ -129,8 +139,11 @@ main(int argc, char **argv)
 
         double base_rate = 0.0;
         for (const int t : threads) {
-            mrf::GridMrf mrf(config, model);
-            mrf.initializeMaximumLikelihood();
+            mrf::GridMrf mrf(problem.config, *problem.singleton);
+            if (problem.initial_labels.empty())
+                mrf.initializeMaximumLikelihood();
+            else
+                mrf.setLabels(problem.initial_labels);
             runtime::ThreadPool pool(t);
             runtime::ParallelSweepExecutor executor(pool, t);
             runtime::ChromaticGibbsSampler sampler(mrf, executor,
@@ -161,10 +174,11 @@ main(int argc, char **argv)
     std::fprintf(json, "{\n  \"benchmark\": \"runtime_scaling\",\n");
     bench::writeMetaJson(json);
     std::fprintf(json,
+                 "  \"workload\": \"%s\",\n"
                  "  \"labels\": %d,\n"
                  "  \"hardware_threads\": %d,\n"
                  "  \"results\": [\n",
-                 labels, hardware);
+                 name.c_str(), num_labels, hardware);
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         std::fprintf(json,

@@ -13,17 +13,29 @@
  *    when the distribution changes every draw, the MRF case);
  *  - std::discrete_distribution (allocates per construction);
  *  - full Gibbs site parameterization + draw.
+ *
+ * On top of the microbenchmarks, a full-sweep benchmark is
+ * registered for every workload in the WorkloadRegistry, on the
+ * Reference and Table sweep paths (BM_WorkloadSweep/<name>/<path>),
+ * so per-application sweep cost is measured through the same
+ * factories the serving stack uses. Filter as usual, e.g.
+ *   bench_software_samplers
+ *       --benchmark_filter=BM_WorkloadSweep/motion
  */
 
 #include <random>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "core/energy_unit.h"
+#include "mrf/gibbs.h"
+#include "mrf/grid_mrf.h"
 #include "rng/discrete.h"
 #include "rng/distributions.h"
 #include "rng/xoshiro256.h"
+#include "workload/registry.h"
 
 namespace {
 
@@ -128,6 +140,63 @@ BM_FullGibbsSiteDraw(benchmark::State &state)
 }
 BENCHMARK(BM_FullGibbsSiteDraw)->Arg(5)->Arg(49);
 
+/** One full checkerboard sweep of workload @p name on @p path,
+ * over a small registry-built instance (48x36). */
+void
+workloadSweep(benchmark::State &state, const std::string &name,
+              rsu::mrf::SweepPath path)
+{
+    rsu::workload::SceneOptions scene;
+    scene.width = 48;
+    scene.height = 36;
+    const auto problem =
+        rsu::workload::WorkloadRegistry::builtin().make(name,
+                                                        scene);
+    rsu::mrf::GridMrf mrf(problem.config, *problem.singleton);
+    if (problem.initial_labels.empty())
+        mrf.initializeMaximumLikelihood();
+    else
+        mrf.setLabels(problem.initial_labels);
+    rsu::mrf::GibbsSampler sampler(
+        mrf, 7, rsu::mrf::Schedule::Checkerboard, path);
+    for (auto _ : state)
+        sampler.sweep();
+    state.SetItemsProcessed(state.iterations() * mrf.width() *
+                            mrf.height());
+}
+
+void
+registerWorkloadSweeps()
+{
+    const auto &registry =
+        rsu::workload::WorkloadRegistry::builtin();
+    for (const auto &name : registry.names()) {
+        for (const auto path : {rsu::mrf::SweepPath::Reference,
+                                rsu::mrf::SweepPath::Table}) {
+            const std::string bench_name =
+                "BM_WorkloadSweep/" + name +
+                (path == rsu::mrf::SweepPath::Table
+                     ? "/table"
+                     : "/reference");
+            benchmark::RegisterBenchmark(
+                bench_name.c_str(),
+                [name, path](benchmark::State &state) {
+                    workloadSweep(state, name, path);
+                });
+        }
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    registerWorkloadSweeps();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

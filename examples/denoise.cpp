@@ -1,75 +1,46 @@
 /**
  * @file
- * Image restoration (denoising) with an RSU-G — the classic
- * Geman-Geman MRF application, included as an extension workload
- * beyond the paper's three.
+ * Image restoration (denoising) — the classic Geman-Geman MRF
+ * application, served through the InferenceEngine.
  *
- * Quantizes a clean synthetic image into discrete intensity
- * levels, corrupts it with Gaussian noise, and recovers it by
- * marginal-MAP inference. Reports PSNR of noisy vs restored.
+ * Builds a denoise InferenceProblem (a clean piecewise-constant
+ * scene corrupted with Gaussian noise), submits it as an engine
+ * job, and reports the reconstruction's PSNR against the clean
+ * image through the problem's quality hook.
  *
  * Usage:
  *   denoise [noise_sigma] [levels] [iterations]
+ *           [--reference] [--check-quality=X] [--anneal]
+ *           [--path=table|reference|simd] [--shards=N] [--seed=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <vector>
 
-#include "core/rsu_g.h"
-#include "mrf/estimator.h"
-#include "mrf/rsu_gibbs.h"
-#include "rng/distributions.h"
-#include "vision/denoise.h"
-#include "vision/image.h"
-#include "vision/metrics.h"
-#include "vision/synthetic.h"
+#include "workload/factories.h"
+#include "workload_runner.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rsu::vision;
+    using namespace rsu;
 
-    const double sigma = argc > 1 ? std::atof(argv[1]) : 6.0;
-    const int levels = argc > 2 ? std::atoi(argv[2]) : 6;
-    const int iterations = argc > 3 ? std::atoi(argv[3]) : 80;
+    const auto args = examples::parseRunnerArgs(argc, argv);
 
-    // Clean scene: piecewise-constant regions quantized to the
-    // restoration levels, so a perfect restoration is achievable.
-    rsu::rng::Xoshiro256 rng(31);
-    const auto scene =
-        makeSegmentationScene(128, 96, levels, 0.0, rng);
-    Image clean = scene.image;
+    workload::SceneOptions scene;
+    scene.noise_sigma = args.positionalDouble(0, 6.0);
+    scene.labels = args.positionalInt(1, 6);
+    const int iterations = args.positionalInt(2, 80);
 
-    Image noisy = clean;
-    for (auto &p : noisy.pixels()) {
-        p = clampPixel(
-            p + rsu::rng::sampleNormal(rng, 0.0, sigma), 63);
-    }
+    const auto problem = workload::makeDenoise(scene);
 
-    DenoiseModel model(noisy, levels);
-    const auto config = denoiseConfig(noisy, levels);
-    rsu::mrf::GridMrf mrf(config, model);
-    mrf.initializeMaximumLikelihood();
+    std::vector<mrf::Label> restored;
+    const int exit_code =
+        examples::runWorkload(problem, iterations, args,
+                              &restored);
 
-    std::printf("Denoising: 128x96, %d levels, noise sigma %.1f\n",
-                levels, sigma);
-    std::printf("PSNR noisy vs clean:    %6.2f dB\n",
-                psnr(noisy, clean));
-
-    rsu::core::RsuG unit(
-        rsu::mrf::RsuGibbsSampler::unitConfigFor(mrf), 17);
-    rsu::mrf::RsuGibbsSampler sampler(mrf, unit);
-    rsu::mrf::MarginalMapEstimator est(mrf, iterations / 5);
-    est.run(iterations, [&] { sampler.sweep(); });
-
-    const Image restored = model.reconstruct(est.estimate());
-    std::printf("PSNR restored vs clean: %6.2f dB\n",
-                psnr(restored, clean));
-
-    clean.writePgm("denoise_clean.pgm");
-    noisy.writePgm("denoise_noisy.pgm");
-    restored.writePgm("denoise_restored.pgm");
-    std::printf("wrote denoise_clean.pgm denoise_noisy.pgm "
-                "denoise_restored.pgm\n");
-    return 0;
+    problem.observation.writePgm("denoise_noisy.pgm");
+    problem.render(restored).writePgm("denoise_restored.pgm");
+    std::printf("wrote denoise_noisy.pgm denoise_restored.pgm\n");
+    return exit_code;
 }

@@ -1,87 +1,60 @@
 /**
  * @file
- * Dense motion estimation with an RSU-G — the paper's second
- * evaluation workload (Konrad-Dubois Bayesian motion fields,
- * 7x7 search window, M = 49 vector labels).
+ * Dense motion estimation — the paper's second evaluation workload
+ * (Konrad-Dubois Bayesian motion fields, 7x7 search window, M = 49
+ * vector labels), served through the InferenceEngine.
  *
- * Generates a two-frame synthetic scene with rigidly moving
- * objects, estimates the per-pixel motion field by MRF-MCMC with
- * an RSU-G4 (the wide unit the paper recommends for label-rich
- * problems), and reports endpoint error against ground truth.
+ * Builds a motion InferenceProblem over a two-frame synthetic scene
+ * with rigidly moving objects, submits it as an engine job, and
+ * reports mean endpoint error against the true displacement field
+ * through the problem's quality hook (lower is better).
  *
  * Usage:
  *   motion_estimation [width] [height] [iterations]
+ *                     [--reference] [--check-quality=X] [--anneal]
+ *                     [--path=table|reference|simd] [--shards=N]
+ *                     [--seed=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <vector>
 
-#include "core/rsu_g.h"
-#include "mrf/estimator.h"
-#include "mrf/rsu_gibbs.h"
+#include "core/types.h"
 #include "vision/image.h"
-#include "vision/metrics.h"
-#include "vision/motion.h"
-#include "vision/synthetic.h"
+#include "workload/factories.h"
+#include "workload_runner.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rsu::vision;
+    using namespace rsu;
 
-    const int width = argc > 1 ? std::atoi(argv[1]) : 96;
-    const int height = argc > 2 ? std::atoi(argv[2]) : 72;
-    const int iterations = argc > 3 ? std::atoi(argv[3]) : 60;
-    constexpr int kRadius = 3; // 7x7 window, M = 49
+    const auto args = examples::parseRunnerArgs(argc, argv);
 
-    rsu::rng::Xoshiro256 rng(99);
-    const auto scene =
-        makeMotionScene(width, height, 3, kRadius, 1.0, rng);
-    scene.frame1.writePgm("motion_frame1.pgm");
-    scene.frame2.writePgm("motion_frame2.pgm");
+    workload::SceneOptions scene;
+    scene.width = args.positionalInt(0, 96);
+    scene.height = args.positionalInt(1, 72);
+    const int iterations = args.positionalInt(2, 60);
 
-    MotionModel model(scene.frame1, scene.frame2, kRadius);
-    const auto config = motionConfig(scene.frame1, kRadius);
-    rsu::mrf::GridMrf mrf(config, model);
-    mrf.initializeMaximumLikelihood();
+    const auto problem = workload::makeMotion(scene);
 
-    std::printf("Motion estimation: %dx%d, M = %d labels, "
-                "RSU-G4\n",
-                width, height, model.numLabels());
-    const double init_epe =
-        meanEndpointError(mrf.labels(), scene.truth);
-    std::printf("ML initialization endpoint error: %.3f px\n",
-                init_epe);
-
-    auto unit_config = rsu::mrf::RsuGibbsSampler::unitConfigFor(mrf);
-    unit_config.width = 4; // RSU-G4
-    rsu::core::RsuG unit(unit_config, 11);
-    rsu::mrf::RsuGibbsSampler sampler(mrf, unit);
-    std::printf("RSU-G4 latency per variable: %d cycles "
-                "(vs %d for RSU-G1)\n",
-                unit.latencyCycles(), 7 + (model.numLabels() - 1));
-
-    rsu::mrf::MarginalMapEstimator est(mrf, iterations / 5);
-    est.run(iterations, [&] { sampler.sweep(); });
-    const auto flow = est.estimate();
-
-    const double epe = meanEndpointError(flow, scene.truth);
-    const double acc = labelAccuracy(flow, scene.truth);
-    std::printf("\nAfter %d iterations: endpoint error %.3f px, "
-                "exact-label accuracy %.1f%%\n",
-                iterations, epe, acc * 100.0);
+    std::vector<mrf::Label> flow;
+    const int exit_code =
+        examples::runWorkload(problem, iterations, args, &flow);
 
     // Visualize: encode dx and dy as two grayscale maps.
-    Image dx_img(width, height, 63), dy_img(width, height, 63);
+    const int width = problem.config.width;
+    const int height = problem.config.height;
+    vision::Image dx_img(width, height, 63),
+        dy_img(width, height, 63);
     for (int i = 0; i < width * height; ++i) {
-        dx_img.pixels()[i] = static_cast<uint8_t>(
-            rsu::core::labelX1(flow[i]) * 9);
-        dy_img.pixels()[i] = static_cast<uint8_t>(
-            rsu::core::labelX2(flow[i]) * 9);
+        dx_img.pixels()[i] =
+            static_cast<uint8_t>(core::labelX1(flow[i]) * 9);
+        dy_img.pixels()[i] =
+            static_cast<uint8_t>(core::labelX2(flow[i]) * 9);
     }
     dx_img.writePgm("motion_dx.pgm");
     dy_img.writePgm("motion_dy.pgm");
-    std::printf("wrote motion_frame1.pgm motion_frame2.pgm "
-                "motion_dx.pgm motion_dy.pgm\n");
-    return 0;
+    std::printf("wrote motion_dx.pgm motion_dy.pgm\n");
+    return exit_code;
 }

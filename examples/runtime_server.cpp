@@ -1,30 +1,63 @@
 /**
  * @file
- * Concurrent inference serving demo.
+ * Concurrent inference serving demo, registry-driven.
  *
  * Simulates the production scenario from the ROADMAP: many callers
- * push independent segmentation jobs at one InferenceEngine, which
- * batches them across a shared chromatic thread pool. Each job gets
- * its own synthetic scene; a mix of fixed-temperature software-Gibbs
- * jobs, annealed jobs, and RSU-emulated jobs exercises all three
- * serving paths. Per-job energy, timing, work, and ground-truth
- * accuracy are reported as the futures resolve.
+ * push independent jobs at one InferenceEngine, which batches them
+ * across a shared chromatic thread pool. Jobs round-robin over the
+ * named workloads (WorkloadRegistry — any of segmentation, motion,
+ * stereo, denoise, synthetic) with per-job seeds; every third job
+ * anneals under its workload's default schedule. Because each
+ * workload contributes ONE problem instance, repeat jobs against it
+ * hit the engine's cross-job SweepTableSet cache — the cache
+ * counters are printed at the end. Per-job energy, timing, and the
+ * workload's own quality metric are reported as futures resolve.
  *
  * Usage:
- *   runtime_server [jobs] [size] [labels] [sweeps]
+ *   runtime_server [jobs] [size] [workloads-csv|all] [sweeps]
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
-#include <future>
+#include <string>
 #include <vector>
 
-#include "mrf/annealing.h"
 #include "runtime/inference_engine.h"
-#include "vision/metrics.h"
-#include "vision/segmentation.h"
-#include "vision/synthetic.h"
+#include "workload/problem.h"
+#include "workload/registry.h"
+
+namespace {
+
+/** Split "a,b,c" (or expand "all") into registry names. */
+std::vector<std::string>
+selectWorkloads(const std::string &csv)
+{
+    const auto &registry = rsu::workload::WorkloadRegistry::builtin();
+    if (csv == "all" || csv.empty())
+        return registry.names();
+    std::vector<std::string> names;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > start)
+            names.push_back(csv.substr(start, end - start));
+        start = end + 1;
+    }
+    for (const auto &name : names)
+        if (!registry.contains(name)) {
+            std::fprintf(stderr,
+                         "unknown workload '%s' (known:", name.c_str());
+            for (const auto &known : registry.names())
+                std::fprintf(stderr, " %s", known.c_str());
+            std::fprintf(stderr, ")\n");
+            std::exit(2);
+        }
+    return names;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -33,8 +66,21 @@ main(int argc, char **argv)
 
     const int jobs = argc > 1 ? std::atoi(argv[1]) : 8;
     const int size = argc > 2 ? std::atoi(argv[2]) : 96;
-    const int labels = argc > 3 ? std::atoi(argv[3]) : 5;
+    const std::string csv = argc > 3 ? argv[3] : "all";
     const int sweeps = argc > 4 ? std::atoi(argv[4]) : 30;
+
+    const auto names = selectWorkloads(csv);
+    const auto &registry = workload::WorkloadRegistry::builtin();
+
+    // One problem instance per workload; jobs round-robin over them
+    // so repeat submissions share cached sweep tables.
+    std::vector<workload::InferenceProblem> problems;
+    for (const auto &name : names) {
+        workload::SceneOptions scene;
+        scene.width = size;
+        scene.height = size;
+        problems.push_back(registry.make(name, scene));
+    }
 
     runtime::InferenceEngine::Options options;
     options.threads = runtime::ThreadPool::hardwareThreads();
@@ -42,79 +88,60 @@ main(int argc, char **argv)
     runtime::InferenceEngine engine(options);
     std::printf("engine: %d pool thread(s), %d concurrent job(s)\n",
                 engine.threads(), options.max_concurrent_jobs);
-    std::printf("submitting %d segmentation jobs (%dx%d, %d labels, "
-                "%d sweeps)\n\n",
-                jobs, size, size, labels, sweeps);
+    std::printf("submitting %d jobs over %zu workload(s) at %dx%d, "
+                "%d sweeps\n\n",
+                jobs, names.size(), size, size, sweeps);
 
-    // Scenes and models live in deques so references stay valid as
-    // jobs are appended — each job's singleton model must outlive
-    // its future.
-    std::deque<vision::SegmentationScene> scenes;
-    std::deque<vision::SegmentationModel> models;
     std::vector<std::future<runtime::InferenceResult>> futures;
-    std::vector<const char *> kinds;
-
+    std::vector<const workload::InferenceProblem *> submitted;
+    std::vector<bool> annealed;
     for (int j = 0; j < jobs; ++j) {
-        rng::Xoshiro256 scene_rng(1000 + j);
-        scenes.push_back(vision::makeSegmentationScene(
-            size, size, labels, 3.0, scene_rng));
-        const auto &scene = scenes.back();
-        models.emplace_back(scene.image, scene.region_means);
-
-        runtime::InferenceJob job;
-        job.config = vision::segmentationConfig(scene.image, labels);
-        job.singleton = &models.back();
-        job.sweeps = sweeps;
-        job.seed = 42 + j;
-        job.energy_trace_stride = sweeps; // endpoints only
-
-        // Round-robin over the three serving paths.
-        switch (j % 3) {
-        case 0:
-            kinds.push_back("gibbs");
-            break;
-        case 1: {
-            kinds.push_back("anneal");
-            mrf::AnnealingSchedule schedule;
-            schedule.start_temperature = job.config.temperature;
-            schedule.stop_temperature = 1.0;
-            schedule.cooling_factor = 0.7;
-            schedule.sweeps_per_stage =
-                std::max(1, sweeps / 6);
-            job.annealing = schedule;
-            break;
-        }
-        default:
-            kinds.push_back("rsu");
-            job.sampler = runtime::SamplerKind::RsuGibbs;
-            break;
-        }
-        futures.push_back(engine.submit(std::move(job)));
+        const auto &problem = problems[j % problems.size()];
+        workload::SubmitOptions submit;
+        submit.sweeps = sweeps;
+        submit.seed = 42 + j;
+        submit.anneal = j % 3 == 2;
+        submit.energy_trace_stride = sweeps; // endpoints only
+        futures.push_back(
+            engine.submit(makeJob(problem, submit)));
+        submitted.push_back(&problem);
+        annealed.push_back(submit.anneal);
     }
 
-    std::printf("%4s %7s %6s %12s %12s %9s %9s %10s\n", "job",
-                "kind", "shrd", "E_initial", "E_final", "sweeps",
-                "time(s)", "accuracy");
+    std::printf("%4s %-13s %6s %6s %12s %12s %7s %8s %18s\n",
+                "job", "workload", "mode", "shrd", "E_initial",
+                "E_final", "sweeps", "time(s)", "quality");
     double total_seconds = 0.0;
     uint64_t total_updates = 0;
     for (int j = 0; j < jobs; ++j) {
         const auto result = futures[j].get();
-        const double accuracy = vision::labelAccuracy(
-            result.labels, scenes[j].truth);
         total_seconds += result.elapsed_seconds;
         total_updates += result.work.site_updates;
-        std::printf("%4llu %7s %6d %12lld %12lld %9d %9.3f %9.1f%%\n",
+        char quality[32] = "-";
+        if (result.quality)
+            std::snprintf(quality, sizeof quality, "%s=%.3f",
+                          result.quality_metric.c_str(),
+                          *result.quality);
+        std::printf("%4llu %-13s %6s %6d %12lld %12lld %7d %8.3f "
+                    "%18s\n",
                     static_cast<unsigned long long>(result.job_id),
-                    kinds[j], result.shards,
+                    submitted[j]->workload.c_str(),
+                    annealed[j] ? "anneal" : "gibbs", result.shards,
                     static_cast<long long>(result.initial_energy),
                     static_cast<long long>(result.final_energy),
                     result.sweeps_run, result.elapsed_seconds,
-                    100.0 * accuracy);
+                    quality);
     }
 
+    const auto cache = engine.tableCacheStats();
     std::printf("\n%d jobs, %llu site updates, %.3f job-seconds "
                 "total\n",
                 jobs, static_cast<unsigned long long>(total_updates),
                 total_seconds);
+    std::printf("table cache: %llu hit(s), %llu miss(es), %d "
+                "entrie(s) resident\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                cache.entries);
     return 0;
 }

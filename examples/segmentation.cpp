@@ -1,106 +1,61 @@
 /**
  * @file
- * Image segmentation with an RSU-G — the paper's flagship workload.
+ * Image segmentation — the paper's flagship workload, served
+ * through the InferenceEngine.
  *
- * Generates a synthetic multi-region scene (or loads a PGM given on
- * the command line), derives class means with 1-D k-means, runs
- * marginal-MAP inference with both the software Gibbs reference and
- * the RSU-G device sampler, and writes the results as PGM files.
+ * Builds a segmentation InferenceProblem (a synthetic multi-region
+ * scene, or a PGM given on the command line with k-means class
+ * means), submits it as an engine job on the fast Table path, and
+ * writes the input and the recovered labelling as PGM files. The
+ * problem's quality hook reports ground-truth accuracy for
+ * synthetic scenes.
  *
  * Usage:
- *   segmentation [input.pgm] [labels] [iterations]
+ *   segmentation [input.pgm|-] [labels] [iterations]
+ *                [--reference] [--check-quality=X] [--anneal]
+ *                [--path=table|reference|simd] [--shards=N]
+ *                [--seed=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <string>
+#include <vector>
 
-#include "core/rsu_g.h"
-#include "mrf/estimator.h"
-#include "mrf/gibbs.h"
-#include "mrf/rsu_gibbs.h"
 #include "vision/image.h"
-#include "vision/metrics.h"
-#include "vision/segmentation.h"
-#include "vision/synthetic.h"
+#include "workload/factories.h"
+#include "workload_runner.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rsu::vision;
+    using namespace rsu;
 
-    const int labels = argc > 2 ? std::atoi(argv[2]) : 5;
-    const int iterations = argc > 3 ? std::atoi(argv[3]) : 100;
+    const auto args = examples::parseRunnerArgs(argc, argv);
+    const int labels = args.positionalInt(1, 5);
+    const int iterations = args.positionalInt(2, 100);
 
-    Image input;
-    std::vector<rsu::core::Label> truth;
-    bool have_truth = false;
-    if (argc > 1) {
-        input = Image::readPgm(argv[1]).requantized(63);
-        std::printf("Loaded %s (%dx%d)\n", argv[1], input.width(),
-                    input.height());
+    workload::SceneOptions scene;
+    scene.labels = labels;
+
+    workload::InferenceProblem problem;
+    if (!args.positionals.empty() && args.positionals[0] != "-") {
+        const auto image =
+            vision::Image::readPgm(args.positionals[0])
+                .requantized(63);
+        std::printf("Loaded %s (%dx%d)\n",
+                    args.positionals[0].c_str(), image.width(),
+                    image.height());
+        problem = workload::makeSegmentation(image, scene);
     } else {
-        rsu::rng::Xoshiro256 rng(2016);
-        const auto scene =
-            makeSegmentationScene(160, 120, labels, 3.0, rng);
-        input = scene.image;
-        truth = scene.truth;
-        have_truth = true;
-        std::printf("Synthetic scene: 160x120, %d regions, noise "
-                    "sigma 3.0\n",
-                    labels);
+        problem = workload::makeSegmentation(scene);
     }
 
-    const auto means = SegmentationModel::kmeansMeans(input, labels);
-    std::printf("k-means class means:");
-    for (uint8_t m : means)
-        std::printf(" %d", m);
-    std::printf("\n");
+    std::vector<mrf::Label> result;
+    const int exit_code =
+        examples::runWorkload(problem, iterations, args, &result);
 
-    SegmentationModel model(input, means);
-    const auto config = segmentationConfig(input, labels, 6.0, 6);
-
-    auto solve = [&](bool use_rsu) {
-        rsu::mrf::GridMrf mrf(config, model);
-        mrf.initializeMaximumLikelihood();
-        rsu::mrf::MarginalMapEstimator est(mrf, iterations / 5);
-
-        if (use_rsu) {
-            rsu::core::RsuG unit(
-                rsu::mrf::RsuGibbsSampler::unitConfigFor(mrf), 7);
-            rsu::mrf::RsuGibbsSampler sampler(mrf, unit);
-            est.run(iterations, [&] { sampler.sweep(); });
-        } else {
-            rsu::mrf::GibbsSampler sampler(mrf, 7);
-            est.run(iterations, [&] { sampler.sweep(); });
-        }
-        return est.estimate();
-    };
-
-    const auto sw = solve(false);
-    const auto rsu_labels = solve(true);
-
-    auto write_result = [&](const std::vector<rsu::core::Label> &ls,
-                            const std::string &path) {
-        Image out(input.width(), input.height(), 63);
-        for (int i = 0; i < out.size(); ++i)
-            out.pixels()[i] = means[ls[i] & 0x7];
-        out.writePgm(path);
-        std::printf("wrote %s\n", path.c_str());
-    };
-
-    input.writePgm("segmentation_input.pgm");
-    write_result(sw, "segmentation_gibbs.pgm");
-    write_result(rsu_labels, "segmentation_rsu.pgm");
-
-    const double agreement = labelAccuracy(sw, rsu_labels);
-    std::printf("\nGibbs vs RSU-G label agreement: %.1f%%\n",
-                100.0 * agreement);
-    if (have_truth) {
-        std::printf("Ground-truth accuracy: Gibbs %.1f%%, RSU-G "
-                    "%.1f%%\n",
-                    100.0 * labelAccuracy(sw, truth),
-                    100.0 * labelAccuracy(rsu_labels, truth));
-    }
-    return 0;
+    problem.observation.writePgm("segmentation_input.pgm");
+    problem.render(result).writePgm("segmentation_labels.pgm");
+    std::printf("wrote segmentation_input.pgm "
+                "segmentation_labels.pgm\n");
+    return exit_code;
 }

@@ -1,80 +1,47 @@
 /**
  * @file
- * Stereo vision matching with an RSU-G — the paper's third
- * workload (Tappen-Freeman MRF stereo, M = 5 disparities).
+ * Stereo vision matching — the paper's third workload
+ * (Tappen-Freeman MRF stereo, M = 5 disparities), served through
+ * the InferenceEngine.
  *
- * Generates a rectified synthetic pair with fronto-parallel
- * surfaces, estimates the disparity map by MRF-MCMC through the
- * RSU instruction interface (exercising the ISA path end to end),
- * and reports accuracy against ground truth.
+ * Builds a stereo InferenceProblem over a synthetic rectified pair
+ * with fronto-parallel surfaces, submits it as an engine job, and
+ * reports disparity accuracy against ground truth through the
+ * problem's quality hook.
  *
  * Usage:
  *   stereo [width] [height] [iterations]
+ *          [--reference] [--check-quality=X] [--anneal]
+ *          [--path=table|reference|simd] [--shards=N] [--seed=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <vector>
 
-#include "core/rsu_g.h"
-#include "mrf/estimator.h"
-#include "mrf/rsu_gibbs.h"
-#include "vision/image.h"
-#include "vision/metrics.h"
-#include "vision/stereo.h"
-#include "vision/synthetic.h"
+#include "workload/factories.h"
+#include "workload_runner.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rsu::vision;
+    using namespace rsu;
 
-    const int width = argc > 1 ? std::atoi(argv[1]) : 128;
-    const int height = argc > 2 ? std::atoi(argv[2]) : 96;
-    const int iterations = argc > 3 ? std::atoi(argv[3]) : 80;
-    constexpr int kDisparities = 5;
+    const auto args = examples::parseRunnerArgs(argc, argv);
 
-    rsu::rng::Xoshiro256 rng(123);
-    const auto scene =
-        makeStereoScene(width, height, kDisparities, 1.0, rng);
-    scene.left.writePgm("stereo_left.pgm");
-    scene.right.writePgm("stereo_right.pgm");
+    workload::SceneOptions scene;
+    scene.width = args.positionalInt(0, 128);
+    scene.height = args.positionalInt(1, 96);
+    const int iterations = args.positionalInt(2, 80);
 
-    StereoModel model(scene.left, scene.right, kDisparities);
-    const auto config =
-        stereoConfig(scene.left, kDisparities, 6.0, 6);
-    rsu::mrf::GridMrf mrf(config, model);
-    mrf.initializeMaximumLikelihood();
+    const auto problem = workload::makeStereo(scene);
 
-    std::printf("Stereo matching: %dx%d, %d disparities, RSU-G1 "
-                "driven through the RSU instruction interface\n",
-                width, height, kDisparities);
+    std::vector<mrf::Label> disparity;
+    const int exit_code =
+        examples::runWorkload(problem, iterations, args,
+                              &disparity);
 
-    rsu::core::RsuG unit(
-        rsu::mrf::RsuGibbsSampler::unitConfigFor(mrf), 13);
-    rsu::mrf::RsuGibbsSampler sampler(
-        mrf, unit, rsu::mrf::Schedule::Checkerboard,
-        rsu::mrf::RsuGibbsSampler::Mode::Isa);
-
-    rsu::mrf::MarginalMapEstimator est(mrf, iterations / 5);
-    est.run(iterations, [&] { sampler.sweep(); });
-    const auto disparity = est.estimate();
-
-    std::printf("Accuracy vs ground truth: %.1f%%\n",
-                100.0 * labelAccuracy(disparity, scene.truth));
-    std::printf("Dynamic RSU instructions issued: %llu "
-                "(%.1f per pixel-update)\n",
-                static_cast<unsigned long long>(
-                    sampler.rsuInstructions()),
-                static_cast<double>(sampler.rsuInstructions()) /
-                    (static_cast<double>(width) * height *
-                     iterations));
-
-    Image disp_img(width, height, 63);
-    for (int i = 0; i < width * height; ++i)
-        disp_img.pixels()[i] =
-            static_cast<uint8_t>((disparity[i] & 0x7) * 12);
-    disp_img.writePgm("stereo_disparity.pgm");
-    std::printf("wrote stereo_left.pgm stereo_right.pgm "
-                "stereo_disparity.pgm\n");
-    return 0;
+    problem.observation.writePgm("stereo_left.pgm");
+    problem.render(disparity).writePgm("stereo_disparity.pgm");
+    std::printf("wrote stereo_left.pgm stereo_disparity.pgm\n");
+    return exit_code;
 }

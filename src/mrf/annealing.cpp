@@ -1,5 +1,6 @@
 #include "mrf/annealing.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace rsu::mrf {
@@ -7,6 +8,16 @@ namespace rsu::mrf {
 std::vector<double>
 AnnealingSchedule::temperatures() const
 {
+    // Non-finite parameters defeat the ordering checks below (every
+    // comparison against NaN is false) and an infinite start never
+    // cools below stop, so the stage loop would spin forever; reject
+    // them before any range test.
+    if (!std::isfinite(start_temperature) ||
+        !std::isfinite(stop_temperature) ||
+        !std::isfinite(cooling_factor))
+        throw std::invalid_argument("AnnealingSchedule: "
+                                    "temperatures and cooling "
+                                    "factor must be finite");
     if (start_temperature <= 0.0 ||
         stop_temperature <= 0.0 ||
         start_temperature < stop_temperature)

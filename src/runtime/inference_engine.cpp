@@ -74,7 +74,7 @@ InferenceEngine::acquireTableSet(const rsu::mrf::GridMrf &mrf,
                                  InferenceResult &result)
 {
     TableCacheKey key;
-    key.singleton = job.singleton;
+    key.singleton = job.singleton.get();
     key.width = mrf.width();
     key.height = mrf.height();
     key.num_labels = mrf.numLabels();
@@ -119,7 +119,8 @@ InferenceEngine::acquireTableSet(const rsu::mrf::GridMrf &mrf,
                 break;
             }
         if (!present) {
-            table_cache_.push_back({std::move(key), set});
+            table_cache_.push_back(
+                {std::move(key), job.singleton, set});
             while (static_cast<int>(table_cache_.size()) >
                    options_.table_cache_capacity)
                 table_cache_.erase(table_cache_.begin());
@@ -223,6 +224,12 @@ InferenceEngine::execute(InferenceJob &job, uint64_t id)
         result.energy_trace.push_back(result.final_energy);
 
     result.labels = mrf.labels();
+    if (job.quality) {
+        result.quality = job.quality(result.labels);
+        result.quality_metric = job.quality_metric;
+        result.quality_higher_is_better =
+            job.quality_higher_is_better;
+    }
     result.work = sampler.work();
     result.phase_timing = executor.timing();
     result.sweeps_run = sweeps_run;

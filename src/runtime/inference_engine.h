@@ -31,8 +31,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/rsu_g.h"
@@ -51,8 +54,13 @@ struct InferenceJob
     /** Lattice and potential parameters. */
     rsu::mrf::MrfConfig config;
 
-    /** Singleton data source; must outlive the job's future. */
-    const rsu::mrf::SingletonModel *singleton = nullptr;
+    /** Singleton data source. The job *owns* a share of the model:
+     * submitters may drop every other reference immediately after
+     * submit() — the engine keeps the model alive until the future
+     * resolves (and, for Table/Simd jobs, while its static tables
+     * stay cached). Workload factories (src/workload/) produce
+     * problems whose models are bundled this way. */
+    std::shared_ptr<const rsu::mrf::SingletonModel> singleton;
 
     /** Sweeps to run (ignored when annealing is set — the schedule
      * determines the count). */
@@ -93,6 +101,25 @@ struct InferenceJob
 
     /** Starting labelling; empty = per-site maximum likelihood. */
     std::vector<rsu::mrf::Label> initial_labels;
+
+    /**
+     * Optional solution-quality hook, evaluated once on the final
+     * labelling and recorded in InferenceResult::quality. The
+     * closure carries whatever it needs (ground truth, clean
+     * images, ...) so the runtime stays application-agnostic; the
+     * workload layer wires in labelAccuracy / meanEndpointError /
+     * psnr (vision/metrics.h).
+     */
+    std::function<double(const std::vector<rsu::mrf::Label> &)>
+        quality;
+
+    /** Metric name for reporting (e.g. "accuracy", "epe_px",
+     * "psnr_db"); copied into the result alongside the value. */
+    std::string quality_metric;
+
+    /** Whether larger quality values are better (false for error
+     * metrics such as mean endpoint error). */
+    bool quality_higher_is_better = true;
 };
 
 /** What a finished job returns. */
@@ -112,6 +139,12 @@ struct InferenceResult
      * RsuGibbs). */
     double table_build_seconds = 0.0;
     bool table_cache_hit = false;
+
+    /** Result of the job's quality hook on `labels` (empty when the
+     * job supplied none); metric name and direction ride along. */
+    std::optional<double> quality;
+    std::string quality_metric;
+    bool quality_higher_is_better = true;
 
     int sweeps_run = 0;
     int shards = 0;
@@ -161,8 +194,9 @@ class InferenceEngine
 
     /**
      * Enqueue @p job; the future resolves when it completes (or
-     * carries the exception that aborted it). The job's singleton
-     * model must stay alive until then.
+     * carries the exception that aborted it). The job shares
+     * ownership of its singleton model, so the caller has no
+     * lifetime obligations after this returns.
      */
     std::future<InferenceResult> submit(InferenceJob job);
 
@@ -205,6 +239,12 @@ class InferenceEngine
     struct TableCacheEntry
     {
         TableCacheKey key;
+        /** Pins the model while its tables are cached: the key
+         * compares model *addresses*, so without this share a dead
+         * model's address could be recycled by a new allocation and
+         * alias a stale entry. Ownership makes the identity key
+         * sound. */
+        std::shared_ptr<const rsu::mrf::SingletonModel> model;
         std::shared_ptr<const rsu::mrf::SweepTableSet> set;
     };
 

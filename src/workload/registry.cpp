@@ -1,0 +1,108 @@
+#include "workload/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rsu::workload {
+
+void
+WorkloadRegistry::add(std::string name, std::string description,
+                      Factory factory)
+{
+    if (!factory)
+        throw std::invalid_argument(
+            "WorkloadRegistry: empty factory for '" + name + "'");
+    if (find(name))
+        throw std::invalid_argument(
+            "WorkloadRegistry: duplicate workload '" + name + "'");
+    entries_.push_back({std::move(name), std::move(description),
+                        std::move(factory)});
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+InferenceProblem
+WorkloadRegistry::make(const std::string &name,
+                       const SceneOptions &options) const
+{
+    const Entry *entry = find(name);
+    if (!entry)
+        throwUnknown(name);
+    return entry->factory(options);
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        out.push_back(entry.name);
+    return out;
+}
+
+const std::string &
+WorkloadRegistry::description(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    if (!entry)
+        throwUnknown(name);
+    return entry->description;
+}
+
+const WorkloadRegistry &
+WorkloadRegistry::builtin()
+{
+    static const WorkloadRegistry registry = [] {
+        WorkloadRegistry r;
+        r.add("segmentation",
+              "piecewise-constant region labelling (paper flagship)",
+              [](const SceneOptions &o) {
+                  return makeSegmentation(o);
+              });
+        r.add("motion",
+              "dense motion estimation, vector labels (7x7 window)",
+              [](const SceneOptions &o) { return makeMotion(o); });
+        r.add("stereo",
+              "rectified-pair disparity estimation",
+              [](const SceneOptions &o) { return makeStereo(o); });
+        r.add("denoise",
+              "quantized-intensity image restoration",
+              [](const SceneOptions &o) { return makeDenoise(o); });
+        r.add("synthetic",
+              "seeded random-field serving/benchmark workload",
+              [](const SceneOptions &o) {
+                  return makeSynthetic(o);
+              });
+        return r;
+    }();
+    return registry;
+}
+
+const WorkloadRegistry::Entry *
+WorkloadRegistry::find(const std::string &name) const
+{
+    for (const auto &entry : entries_)
+        if (entry.name == name)
+            return &entry;
+    return nullptr;
+}
+
+void
+WorkloadRegistry::throwUnknown(const std::string &name) const
+{
+    std::string known;
+    for (const auto &entry : entries_) {
+        if (!known.empty())
+            known += ", ";
+        known += entry.name;
+    }
+    throw std::out_of_range("WorkloadRegistry: unknown workload '" +
+                            name + "' (known: " + known + ")");
+}
+
+} // namespace rsu::workload

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * String-keyed workload registry.
+ *
+ * Serving callers (examples/runtime_server, the benches, tests)
+ * instantiate problems by name — "segmentation", "motion", ... —
+ * without compiling against any per-workload factory: the registry
+ * is the indirection that lets one server binary run every scenario
+ * the repo knows about, and lets downstream code add its own.
+ *
+ * builtin() returns a process-wide registry pre-populated with the
+ * five standard workloads (factories.h). Instances are cheap; a
+ * custom registry can be built from scratch with add().
+ */
+
+#ifndef RSU_WORKLOAD_REGISTRY_H
+#define RSU_WORKLOAD_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workload/factories.h"
+#include "workload/problem.h"
+
+namespace rsu::workload {
+
+/** Name -> problem-factory map with stable registration order. */
+class WorkloadRegistry
+{
+  public:
+    using Factory =
+        std::function<InferenceProblem(const SceneOptions &)>;
+
+    /**
+     * Register @p factory under @p name.
+     * @throws std::invalid_argument on a duplicate name or an
+     *         empty factory.
+     */
+    void add(std::string name, std::string description,
+             Factory factory);
+
+    bool contains(const std::string &name) const;
+
+    /**
+     * Instantiate workload @p name with @p options.
+     * @throws std::out_of_range naming the known workloads when
+     *         @p name is not registered.
+     */
+    InferenceProblem make(const std::string &name,
+                          const SceneOptions &options = {}) const;
+
+    /** Registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** One-line description of workload @p name.
+     * @throws std::out_of_range when unknown. */
+    const std::string &description(const std::string &name) const;
+
+    /**
+     * The shared registry holding the built-in workloads:
+     * segmentation, motion, stereo, denoise, synthetic.
+     */
+    static const WorkloadRegistry &builtin();
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string description;
+        Factory factory;
+    };
+
+    const Entry *find(const std::string &name) const;
+    [[noreturn]] void throwUnknown(const std::string &name) const;
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace rsu::workload
+
+#endif // RSU_WORKLOAD_REGISTRY_H

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "arch/accel_sim.h"
@@ -167,6 +168,21 @@ TEST(Annealing, ScheduleGeneratesDecreasingStages)
     EXPECT_THROW(bad.temperatures(), std::invalid_argument);
     bad = schedule;
     bad.stop_temperature = 32.0;
+    EXPECT_THROW(bad.temperatures(), std::invalid_argument);
+
+    // Non-finite parameters must be rejected too: an infinite start
+    // would cool forever, and NaN passes every range comparison.
+    bad = schedule;
+    bad.start_temperature =
+        std::numeric_limits<double>::infinity();
+    EXPECT_THROW(bad.temperatures(), std::invalid_argument);
+    bad = schedule;
+    bad.stop_temperature =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(bad.temperatures(), std::invalid_argument);
+    bad = schedule;
+    bad.cooling_factor =
+        std::numeric_limits<double>::quiet_NaN();
     EXPECT_THROW(bad.temperatures(), std::invalid_argument);
 }
 

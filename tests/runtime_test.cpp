@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <set>
 #include <utility>
 #include <vector>
@@ -60,6 +61,14 @@ struct Problem
         rsu::rng::Xoshiro256 rng(seed);
         return rsu::vision::makeSegmentationScene(width, height,
                                                   labels, 3.0, rng);
+    }
+
+    /** Non-owning view for job submission; the Problem outlives
+     * every future in these tests. */
+    std::shared_ptr<const rsu::mrf::SingletonModel>
+    modelPtr() const
+    {
+        return {std::shared_ptr<const void>(), &model};
     }
 };
 
@@ -272,7 +281,7 @@ TEST(InferenceEngineTest, JobsAreReproducibleAndIsolated)
     const auto make_job = [&](uint64_t seed, int shards) {
         InferenceJob job;
         job.config = p.config;
-        job.singleton = &p.model;
+        job.singleton = p.modelPtr();
         job.sweeps = 3;
         job.seed = seed;
         job.shards = shards;
@@ -331,7 +340,7 @@ TEST(InferenceEngineTest, AnnealingJobTracksBestLabelling)
 
     InferenceJob job;
     job.config = p.config;
-    job.singleton = &p.model;
+    job.singleton = p.modelPtr();
     job.seed = 5;
     rsu::mrf::AnnealingSchedule schedule;
     schedule.start_temperature = p.config.temperature;

@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -79,6 +80,14 @@ struct Problem
         rsu::rng::Xoshiro256 rng(seed);
         return rsu::vision::makeSegmentationScene(width, height,
                                                   labels, 3.0, rng);
+    }
+
+    /** Non-owning view for job submission; the Problem outlives
+     * every future in these tests. */
+    std::shared_ptr<const rsu::mrf::SingletonModel>
+    modelPtr() const
+    {
+        return {std::shared_ptr<const void>(), &model};
     }
 };
 
@@ -578,7 +587,7 @@ TEST(EngineTableCache, RepeatJobsHitAndSkipRebuild)
 
     InferenceJob job;
     job.config = p.config;
-    job.singleton = &p.model;
+    job.singleton = p.modelPtr();
     job.sweeps = 3;
     job.sweep_path = SweepPath::Simd;
     job.seed = 11;
@@ -616,7 +625,7 @@ TEST(EngineTableCache, MatchesDirectChromaticSampler)
 
     InferenceJob job;
     job.config = p.config;
-    job.singleton = &p.model;
+    job.singleton = p.modelPtr();
     job.sweeps = 4;
     job.sweep_path = SweepPath::Simd;
     job.seed = 77;
@@ -644,10 +653,10 @@ TEST(EngineTableCache, DistinctModelsGetDistinctEntries)
     job.shards = 1;
 
     job.config = a.config;
-    job.singleton = &a.model;
+    job.singleton = a.modelPtr();
     engine.submit(job).get();
     job.config = b.config;
-    job.singleton = &b.model;
+    job.singleton = b.modelPtr();
     engine.submit(job).get();
 
     const auto stats = engine.tableCacheStats();
@@ -674,7 +683,7 @@ TEST(EngineTableCache, CapacityBoundsEntriesWithLruEviction)
 
     auto submit = [&](const Problem &p) {
         job.config = p.config;
-        job.singleton = &p.model;
+        job.singleton = p.modelPtr();
         return engine.submit(job).get();
     };
 
@@ -699,7 +708,7 @@ TEST(EngineTableCache, DisabledCacheAndReferencePathBypass)
 
     InferenceJob job;
     job.config = p.config;
-    job.singleton = &p.model;
+    job.singleton = p.modelPtr();
     job.sweeps = 2;
     job.seed = 5;
     job.shards = 1;
