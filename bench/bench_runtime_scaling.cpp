@@ -14,7 +14,18 @@
  *                 "sweeps_per_sec": R, "speedup": X}, ...]}
  * where speedup is relative to the 1-thread row of the same size.
  *
- * The JSON also carries the shared "metadata" object (hardware
+ * A second section measures the robustness-layer tax: the same
+ * Table-path sweep loop run plain versus "checkpointed" — a live
+ * (never-tripped) CancellationToken installed on the executor plus
+ * the per-sweep token/deadline checks the InferenceEngine's traced
+ * sweep performs (see DESIGN.md section 12). The delta is the price
+ * every serving job pays for cancellability; the PR 5 acceptance bar
+ * is <= 2%. Results go to BENCH_robustness.json as
+ *   {"benchmark": "robustness_overhead", "workload": W, ...,
+ *    "results": [{"variant": "plain"|"checkpointed", ...}, ...],
+ *    "overhead_percent": X}
+ *
+ * Both JSONs carry the shared "metadata" object (hardware
  * concurrency, SIMD ISA, build type, compiler flags) from
  * bench_meta.h.
  *
@@ -22,7 +33,8 @@
  *   bench_runtime_scaling [workload] [sizes-csv] [threads-csv]
  *                         [labels]
  * Defaults: segmentation; sizes 128,512,1024; threads 1,2,4,8;
- * labels 0 (the workload's default label count).
+ * labels 0 (the workload's default label count). The robustness
+ * section uses the largest requested size and thread count.
  */
 
 #include <chrono>
@@ -33,8 +45,11 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "bench_meta.h"
 #include "mrf/grid_mrf.h"
+#include "runtime/cancellation.h"
 #include "runtime/chromatic_sampler.h"
 #include "runtime/parallel_sweep.h"
 #include "runtime/thread_pool.h"
@@ -192,5 +207,110 @@ main(int argc, char **argv)
     std::fclose(json);
     std::printf("\nwrote BENCH_runtime_scaling.json (%zu rows)\n",
                 rows.size());
+
+    // ---- Robustness overhead: the serving layer's per-sweep tax.
+    //
+    // The InferenceEngine's traced sweep adds, per sweep, one
+    // CancellationToken load, one steady_clock deadline comparison,
+    // and the executor's own pre-phase token check. Measure the
+    // Table-path sweep loop plain vs with exactly those checkpoints
+    // armed (live token, far-future deadline) at the largest
+    // requested size/thread count; best-of-3 per variant to shave
+    // scheduler noise.
+    const int rsize = *std::max_element(sizes.begin(), sizes.end());
+    const int rthreads =
+        *std::max_element(threads.begin(), threads.end());
+    workload::SceneOptions rscene;
+    rscene.width = rsize;
+    rscene.height = rsize;
+    rscene.labels = labels;
+    const auto rproblem = registry.make(name, rscene);
+    const int rsweeps = std::max(4, 8'000'000 / (rsize * rsize) + 1);
+    const int reps = 5;
+
+    const auto measure_once = [&](bool checkpointed) {
+        mrf::GridMrf mrf(rproblem.config, *rproblem.singleton);
+        if (rproblem.initial_labels.empty())
+            mrf.initializeMaximumLikelihood();
+        else
+            mrf.setLabels(rproblem.initial_labels);
+        runtime::ThreadPool pool(rthreads);
+        runtime::ParallelSweepExecutor executor(pool, rthreads);
+        runtime::ChromaticGibbsSampler sampler(
+            mrf, executor, 1234,
+            runtime::SamplerKind::SoftwareGibbs, {},
+            mrf::SweepPath::Table);
+        runtime::CancellationToken token;
+        std::chrono::steady_clock::time_point deadline{};
+        if (checkpointed) {
+            token = runtime::CancellationToken::make();
+            executor.setCancellationToken(token);
+            deadline = std::chrono::steady_clock::now() +
+                       std::chrono::hours(24);
+        }
+        sampler.sweep(); // warm-up: page in, prime caches
+
+        const auto start = std::chrono::steady_clock::now();
+        for (int s = 0; s < rsweeps; ++s) {
+            if (checkpointed) {
+                if (token.cancelled())
+                    break;
+                if (std::chrono::steady_clock::now() >= deadline)
+                    break;
+            }
+            sampler.sweep();
+        }
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return rsweeps / elapsed.count();
+    };
+
+    std::printf("\nrobustness overhead — Table path, %dx%d, %d "
+                "thread(s), %d sweeps, best of %d\n",
+                rsize, rsize, rthreads, rsweeps, reps);
+    // Interleave the two variants so load drift (frequency scaling,
+    // container neighbours) biases both equally, then compare bests.
+    double plain_rate = 0.0;
+    double checkpointed_rate = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        plain_rate = std::max(plain_rate, measure_once(false));
+        checkpointed_rate =
+            std::max(checkpointed_rate, measure_once(true));
+    }
+    const double overhead_percent =
+        (plain_rate - checkpointed_rate) / plain_rate * 100.0;
+    std::printf("%14s %14.2f sweeps/sec\n", "plain", plain_rate);
+    std::printf("%14s %14.2f sweeps/sec\n", "checkpointed",
+                checkpointed_rate);
+    std::printf("%14s %13.2f%% (acceptance bar: 2%%)\n", "overhead",
+                overhead_percent);
+
+    FILE *rjson = std::fopen("BENCH_robustness.json", "w");
+    if (!rjson) {
+        std::fprintf(stderr, "cannot write BENCH_robustness.json\n");
+        return 1;
+    }
+    std::fprintf(rjson,
+                 "{\n  \"benchmark\": \"robustness_overhead\",\n");
+    bench::writeMetaJson(rjson);
+    std::fprintf(rjson,
+                 "  \"workload\": \"%s\",\n"
+                 "  \"labels\": %d,\n"
+                 "  \"size\": %d,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"sweeps\": %d,\n"
+                 "  \"repetitions\": %d,\n"
+                 "  \"results\": [\n"
+                 "    {\"variant\": \"plain\", "
+                 "\"sweeps_per_sec\": %.3f},\n"
+                 "    {\"variant\": \"checkpointed\", "
+                 "\"sweeps_per_sec\": %.3f}\n"
+                 "  ],\n"
+                 "  \"overhead_percent\": %.3f\n}\n",
+                 name.c_str(), rproblem.config.num_labels, rsize,
+                 rthreads, rsweeps, reps, plain_rate,
+                 checkpointed_rate, overhead_percent);
+    std::fclose(rjson);
+    std::printf("wrote BENCH_robustness.json\n");
     return 0;
 }

@@ -18,7 +18,7 @@ cmake -B "${BUILD_DIR}" -S "${SOURCE_DIR}" \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "${BUILD_DIR}" -j \
-    --target mrf_test runtime_test fast_sweep_test simd_sweep_test \
+    --target mrf_test runtime_test robustness_test fast_sweep_test simd_sweep_test \
     workload_test
 
 # Only the labelled (mrf + runtime) tests: the sampler kernels, the

@@ -16,7 +16,7 @@ cmake -B "${BUILD_DIR}" -S "${SOURCE_DIR}" \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "${BUILD_DIR}" -j \
-    --target runtime_test mrf_test fast_sweep_test simd_sweep_test \
+    --target runtime_test robustness_test mrf_test fast_sweep_test simd_sweep_test \
     workload_test
 
 # Only the labelled (runtime + mrf) tests: the suites that exercise

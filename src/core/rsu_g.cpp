@@ -29,6 +29,20 @@ ceilLog2(int x)
 
 } // namespace
 
+RsuGStats &
+RsuGStats::operator+=(const RsuGStats &other)
+{
+    samples += other.samples;
+    label_evals += other.label_evals;
+    issue_cycles += other.issue_cycles;
+    stall_cycles += other.stall_cycles;
+    saturated_ttfs += other.saturated_ttfs;
+    all_saturated_races += other.all_saturated_races;
+    reraces += other.reraces;
+    unrecovered_races += other.unrecovered_races;
+    return *this;
+}
+
 RsuG::RsuG(const RsuGConfig &config, uint64_t seed)
     : config_(config),
       rng_(seed),
@@ -105,23 +119,13 @@ RsuG::referencedEnergies(const EnergyInputs &in,
     return energies;
 }
 
-Label
-RsuG::sample(const EnergyInputs &in, const uint8_t *data2_per_label)
+void
+RsuG::raceOnce(SelectionUnit &selection,
+               const std::vector<Energy> &energies)
 {
-    SelectionUnit selection;
     const int m = num_labels_;
     const int k = config_.width;
     const int r = config_.circuits_per_lane;
-
-    const std::vector<Energy> energies =
-        referencedEnergies(in, data2_per_label);
-    if (config_.two_pass_offset) {
-        // The min-reference pass occupies the energy stage for an
-        // extra ceil(M/K) cycles before firing can start.
-        const uint64_t pass = (m + k - 1) / k;
-        cycle_ += pass;
-        stats_.issue_cycles += pass;
-    }
 
     // Down-counter order: candidate index M-1 is evaluated first.
     // K labels issue per cycle in lockstep across the lanes; a
@@ -146,12 +150,19 @@ RsuG::sample(const EnergyInputs &in, const uint8_t *data2_per_label)
         for (int lane = 0; lane < group; ++lane) {
             const int cand_index = label - lane;
             const Label candidate = codes_[cand_index];
-            const uint8_t code = lut_.lookup(energies[cand_index]);
+            uint8_t code = lut_.lookup(energies[cand_index]);
+            if (faults_active_)
+                code = static_cast<uint8_t>(
+                    (code | faults_.led_stuck_high[lane]) &
+                    ~faults_.led_stuck_low[lane] & 0xF);
 
             const int replica = lane_next_replica_[lane];
             lane_next_replica_[lane] = (replica + 1) % r;
             auto &circ = circuits_[lane * r + replica];
-            const uint8_t ttf = circ.sampleAt(rng_, code, cycle_);
+            uint8_t ttf = circ.sampleAt(rng_, code, cycle_);
+            if (faults_active_ && (faults_.force_ttf_saturation ||
+                                   faults_.dead_spad[lane]))
+                ttf = rsu::ret::kTtfSaturated;
             if (ttf == rsu::ret::kTtfSaturated)
                 ++stats_.saturated_ttfs;
             selection.observe(candidate, ttf);
@@ -162,9 +173,81 @@ RsuG::sample(const EnergyInputs &in, const uint8_t *data2_per_label)
         label -= group;
         remaining -= group;
     }
+}
+
+Label
+RsuG::sample(const EnergyInputs &in, const uint8_t *data2_per_label)
+{
+    SelectionUnit selection;
+    const int m = num_labels_;
+    const int k = config_.width;
+
+    const std::vector<Energy> energies =
+        referencedEnergies(in, data2_per_label);
+    if (config_.two_pass_offset) {
+        // The min-reference pass occupies the energy stage for an
+        // extra ceil(M/K) cycles before firing can start.
+        const uint64_t pass = (m + k - 1) / k;
+        cycle_ += pass;
+        stats_.issue_cycles += pass;
+    }
+
+    raceOnce(selection, energies);
+
+    // Bounded re-race-then-report protocol: an all-saturated race
+    // has no winner (the selection keeps the first-evaluated
+    // candidate), so a faulted unit retries a bounded number of
+    // times and, failing that, reports it. max_reraces is 0 unless
+    // injectFaults() raised it, so fault-free sampling consumes
+    // entropy exactly as before.
+    const int max_reraces = faults_active_ ? faults_.max_reraces : 0;
+    int attempts = 0;
+    while (selection.bestTtf() == rsu::ret::kTtfSaturated &&
+           attempts < max_reraces) {
+        ++stats_.all_saturated_races;
+        ++stats_.reraces;
+        ++attempts;
+        selection.reset();
+        raceOnce(selection, energies);
+    }
+    if (selection.bestTtf() == rsu::ret::kTtfSaturated) {
+        ++stats_.all_saturated_races;
+        if (faults_active_) {
+            ++stats_.unrecovered_races;
+            if (faults_.failure_threshold > 0 &&
+                stats_.unrecovered_races >= faults_.failure_threshold)
+                failed_ = true;
+        }
+    }
 
     ++stats_.samples;
     return selection.bestLabel();
+}
+
+void
+RsuG::injectFaults(const rsu::ret::UnitFaults &faults)
+{
+    const auto lanes = static_cast<std::size_t>(config_.width);
+    if (faults.led_stuck_high.size() != lanes ||
+        faults.led_stuck_low.size() != lanes ||
+        faults.dead_spad.size() != lanes)
+        throw std::invalid_argument(
+            "RsuG: fault lane vectors must match the unit width");
+    if (faults.max_reraces < 0)
+        throw std::invalid_argument(
+            "RsuG: need max_reraces >= 0");
+    faults_ = faults;
+    // A plan slice that afflicted nothing leaves the unit healthy:
+    // the health policy only arms alongside an actual affliction, so
+    // unafflicted units keep consuming entropy exactly as before.
+    faults_active_ = faults_.any();
+    if (faults_.dark_rate_per_ns > 0.0) {
+        for (auto &circ : circuits_) {
+            rsu::ret::SpadModel model = circ.spadModel();
+            model.dark_rate_per_ns += faults_.dark_rate_per_ns;
+            circ.setSpadModel(model);
+        }
+    }
 }
 
 Energy

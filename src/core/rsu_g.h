@@ -34,6 +34,7 @@
 #include "core/intensity_map.h"
 #include "core/selection_unit.h"
 #include "core/types.h"
+#include "ret/fault_injection.h"
 #include "ret/ret_circuit.h"
 #include "rng/xoshiro256.h"
 
@@ -71,7 +72,7 @@ struct RsuGConfig
     bool two_pass_offset = false;
 };
 
-/** Occupancy and quality counters. */
+/** Occupancy, quality, and health counters. */
 struct RsuGStats
 {
     uint64_t samples = 0;        //!< random variables sampled
@@ -79,6 +80,29 @@ struct RsuGStats
     uint64_t issue_cycles = 0;   //!< cycles spent issuing evaluations
     uint64_t stall_cycles = 0;   //!< structural-hazard stalls
     uint64_t saturated_ttfs = 0; //!< TTF register saturations
+
+    // Health counters (see RsuG::injectFaults and the re-race
+    // protocol in RsuG::sample). On a healthy unit only
+    // all_saturated_races can move, and only for races whose every
+    // candidate mapped to LED code 0.
+    uint64_t all_saturated_races = 0; //!< race attempts with no winner
+    uint64_t reraces = 0;             //!< bounded re-race attempts
+    uint64_t unrecovered_races = 0;   //!< still saturated after them
+
+    /** Fraction of candidate evaluations whose lane failed to
+     * report an arrival (saturated reading) — the "misfire"
+     * health signal. */
+    double
+    misfireFraction() const
+    {
+        return label_evals == 0
+                   ? 0.0
+                   : static_cast<double>(saturated_ttfs) /
+                         static_cast<double>(label_evals);
+    }
+
+    /** Accumulate another unit's counters (array aggregation). */
+    RsuGStats &operator+=(const RsuGStats &other);
 };
 
 /** The Gibbs sampling unit. */
@@ -170,6 +194,33 @@ class RsuG
      */
     double steadyStateIntervalCycles() const;
 
+    /**
+     * Install device faults and the accompanying health policy
+     * (see ret/fault_injection.h). Dark-count elevation is merged
+     * into every circuit's SPAD model immediately; stuck LED bits,
+     * dead SPAD lanes, and forced TTF saturation are applied at
+     * each firing. Faults survive re-initialization (annealing
+     * re-builds the intensity LUT, not the broken optics). Lane
+     * vectors must match the unit's width.
+     *
+     * With faults installed, sample() runs the bounded
+     * re-race-then-report protocol: a race in which every lane
+     * saturated (no winner — the selection falls back to the
+     * first-evaluated candidate) is re-raced up to
+     * faults.max_reraces times; a race still saturated after that
+     * counts as unrecovered, and once unrecovered races reach
+     * faults.failure_threshold (> 0) the unit declares itself
+     * failed. Never installed by default, so fault-free sampling
+     * consumes entropy exactly as before — bit-identical to seed.
+     */
+    void injectFaults(const rsu::ret::UnitFaults &faults);
+
+    /** True once the health policy declared the unit failed. */
+    bool failed() const { return failed_; }
+
+    /** True when injectFaults() installed any affliction. */
+    bool faultsInjected() const { return faults_active_; }
+
     const RsuGStats &stats() const { return stats_; }
     void resetStats() { stats_ = RsuGStats{}; }
 
@@ -188,6 +239,11 @@ class RsuG
     referencedEnergies(const EnergyInputs &in,
                        const uint8_t *data2_per_label) const;
 
+    /** One full down-counter race over @p energies into
+     * @p selection (the pipeline loop of sample()). */
+    void raceOnce(SelectionUnit &selection,
+                  const std::vector<Energy> &energies);
+
     RsuGConfig config_;
     rsu::rng::Xoshiro256 rng_;
     EnergyUnit energy_unit_;
@@ -200,6 +256,11 @@ class RsuG
     double temperature_ = 0.0;
     uint64_t cycle_ = 0;
     RsuGStats stats_;
+
+    // Fault-injection state (inert unless injectFaults() ran).
+    rsu::ret::UnitFaults faults_;
+    bool faults_active_ = false;
+    bool failed_ = false;
 };
 
 } // namespace rsu::core

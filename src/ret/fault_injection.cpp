@@ -1,0 +1,111 @@
+#include "ret/fault_injection.h"
+
+#include <stdexcept>
+
+#include "rng/splitmix64.h"
+
+namespace rsu::ret {
+
+namespace {
+
+/** Salts keeping the per-fault-class Bernoulli draws independent. */
+enum : uint64_t {
+    kSaltStuckLed = 0x51ed,
+    kSaltStuckPolarity = 0xb17,
+    kSaltStuckBit = 0x5e1ec7,
+    kSaltDeadSpad = 0xdead,
+    kSaltDarkUnit = 0xda2c,
+    kSaltTtfSaturation = 0x7f5a,
+};
+
+/** Deterministic 64-bit hash of (seed, salt, unit, lane). */
+uint64_t
+mix(uint64_t seed, uint64_t salt, int unit, int lane)
+{
+    rsu::rng::SplitMix64 h(seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+                           (static_cast<uint64_t>(unit) << 32) ^
+                           static_cast<uint64_t>(lane));
+    return h.next();
+}
+
+/** Bernoulli(@p fraction) draw from the hash stream. */
+bool
+afflicted(uint64_t seed, uint64_t salt, int unit, int lane,
+          double fraction)
+{
+    if (fraction <= 0.0)
+        return false;
+    if (fraction >= 1.0)
+        return true;
+    // 53-bit uniform in [0, 1), the double-precision idiom.
+    const double u =
+        static_cast<double>(mix(seed, salt, unit, lane) >> 11) *
+        0x1.0p-53;
+    return u < fraction;
+}
+
+} // namespace
+
+bool
+UnitFaults::any() const
+{
+    if (dark_rate_per_ns > 0.0 || force_ttf_saturation)
+        return true;
+    for (const uint8_t m : led_stuck_high)
+        if (m != 0)
+            return true;
+    for (const uint8_t m : led_stuck_low)
+        if (m != 0)
+            return true;
+    for (const uint8_t d : dead_spad)
+        if (d != 0)
+            return true;
+    return false;
+}
+
+bool
+FaultPlan::anyFaults() const
+{
+    return stuck_led_fraction > 0.0 || dead_spad_fraction > 0.0 ||
+           (dark_unit_fraction > 0.0 && dark_rate_per_ns > 0.0) ||
+           ttf_saturation_fraction > 0.0;
+}
+
+UnitFaults
+FaultPlan::faultsFor(int unit_index, int lanes) const
+{
+    if (unit_index < 0 || lanes < 1)
+        throw std::invalid_argument(
+            "FaultPlan: need unit_index >= 0 and lanes >= 1");
+    UnitFaults faults;
+    faults.led_stuck_high.assign(lanes, 0);
+    faults.led_stuck_low.assign(lanes, 0);
+    faults.dead_spad.assign(lanes, 0);
+    faults.max_reraces = max_reraces;
+    faults.failure_threshold = failure_threshold;
+
+    for (int lane = 0; lane < lanes; ++lane) {
+        if (afflicted(seed, kSaltStuckLed, unit_index, lane,
+                      stuck_led_fraction)) {
+            const uint8_t bit = static_cast<uint8_t>(
+                1u << (mix(seed, kSaltStuckBit, unit_index, lane) &
+                       0x3));
+            if (mix(seed, kSaltStuckPolarity, unit_index, lane) & 1)
+                faults.led_stuck_high[lane] = bit;
+            else
+                faults.led_stuck_low[lane] = bit;
+        }
+        if (afflicted(seed, kSaltDeadSpad, unit_index, lane,
+                      dead_spad_fraction))
+            faults.dead_spad[lane] = 1;
+    }
+    if (afflicted(seed, kSaltDarkUnit, unit_index, 0,
+                  dark_unit_fraction))
+        faults.dark_rate_per_ns = dark_rate_per_ns;
+    if (afflicted(seed, kSaltTtfSaturation, unit_index, 0,
+                  ttf_saturation_fraction))
+        faults.force_ttf_saturation = true;
+    return faults;
+}
+
+} // namespace rsu::ret

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic device-fault injection for RSU-G units.
+ *
+ * The paper's own device characterization (section 5) names the
+ * non-idealities a deployed molecular-optical sampler lives with:
+ * ensemble variation across RET networks, SPAD dark counts and
+ * finite efficiency, and the 8-bit TTF register's saturation. The
+ * follow-on uncertainty-quantification work treats such sampler
+ * non-ideality as a first-class statistical concern rather than a
+ * reason to discard hardware. This module gives the serving stack a
+ * way to *rehearse* those failures: a FaultPlan describes a fault
+ * campaign over an array of units, and faultsFor() expands it into
+ * the concrete per-unit afflictions — selected by seeded hashing, so
+ * the same plan always breaks the same lanes of the same units, no
+ * matter how many shards the runtime spreads them over.
+ *
+ * Fault classes (all default-off; an empty plan injects nothing):
+ *  - stuck-at LED intensity bits: one bit of a lane's 4-bit LED
+ *    on/off code is forced high or low, distorting the intensity
+ *    ladder that realizes the Gibbs weights;
+ *  - dead SPAD lanes: a lane's detector never fires, so every
+ *    evaluation on it reads a saturated TTF;
+ *  - elevated dark counts: spurious detections race the true signal
+ *    at a fixed extra Poisson rate (the analytic race oracle,
+ *    RsuG::raceDistribution, models this exactly — see the
+ *    chi-square tests);
+ *  - forced TTF saturation: the unit's shift registers stick at the
+ *    saturated reading, making every race end with no winner.
+ *
+ * The plan also carries the health policy an afflicted unit runs
+ * under: how many times an all-saturated race is re-raced before the
+ * unit reports it, and how many unrecovered races it tolerates
+ * before declaring itself failed (RsuG::failed()), which is the
+ * signal the serving layer's degradation policy acts on.
+ */
+
+#ifndef RSU_RET_FAULT_INJECTION_H
+#define RSU_RET_FAULT_INJECTION_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rsu::ret {
+
+/** Concrete afflictions for one RSU-G unit (see RsuG::injectFaults).
+ * Vectors are indexed by lane and sized to the unit's width. */
+struct UnitFaults
+{
+    /** Per-lane LED-code bits stuck at 1 (OR mask, low 4 bits). */
+    std::vector<uint8_t> led_stuck_high;
+
+    /** Per-lane LED-code bits stuck at 0 (mask of dead bits). */
+    std::vector<uint8_t> led_stuck_low;
+
+    /** Per-lane dead-SPAD flag: the lane always reads saturated. */
+    std::vector<uint8_t> dead_spad;
+
+    /** Extra dark-count rate (per ns) added to every circuit. */
+    double dark_rate_per_ns = 0.0;
+
+    /** Whole-unit TTF register failure: every reading saturates. */
+    bool force_ttf_saturation = false;
+
+    /** Re-race attempts granted when a race ends all-saturated. */
+    int max_reraces = 0;
+
+    /** Unrecovered all-saturated races before the unit declares
+     * failure; 0 = never declare failure. */
+    uint64_t failure_threshold = 0;
+
+    /** True when any affliction is present (health policy alone
+     * does not count — it only matters once something is broken). */
+    bool any() const;
+};
+
+/** A seeded fault campaign over an array of RSU-G units. */
+struct FaultPlan
+{
+    /** Selects *which* lanes/units are afflicted; the same seed
+     * always picks the same victims. */
+    uint64_t seed = 1;
+
+    /** Fraction of lanes with one stuck LED intensity bit. */
+    double stuck_led_fraction = 0.0;
+
+    /** Fraction of lanes whose SPAD is dead. */
+    double dead_spad_fraction = 0.0;
+
+    /** Fraction of units with elevated dark counts... */
+    double dark_unit_fraction = 0.0;
+
+    /** ...at this extra rate (counts per ns). */
+    double dark_rate_per_ns = 0.0;
+
+    /** Fraction of units whose TTF registers stick saturated. */
+    double ttf_saturation_fraction = 0.0;
+
+    /** Health policy installed alongside the faults. */
+    int max_reraces = 2;
+    uint64_t failure_threshold = 8;
+
+    /** True when the plan can afflict anything at all. */
+    bool anyFaults() const;
+
+    /**
+     * Expand the plan into unit @p unit_index's afflictions for a
+     * @p lanes -wide unit. Deterministic in (seed, unit_index,
+     * lane): a unit keeps its faults however the array around it is
+     * resized or resharded.
+     */
+    UnitFaults faultsFor(int unit_index, int lanes) const;
+};
+
+} // namespace rsu::ret
+
+#endif // RSU_RET_FAULT_INJECTION_H

@@ -65,6 +65,12 @@ RetCircuit::sampleAt(rsu::rng::Xoshiro256 &rng, uint8_t code,
     return sample(rng, code);
 }
 
+void
+RetCircuit::setSpadModel(const SpadModel &model)
+{
+    spad_ = Spad(model);
+}
+
 double
 RetCircuit::detectionRate(uint8_t code) const
 {

@@ -96,6 +96,16 @@ class RetCircuit
     double detectionRate(uint8_t code) const;
 
     const QdLedBank &leds() const { return leds_; }
+
+    /** Detector model currently installed. */
+    const SpadModel &spadModel() const { return spad_.model(); }
+
+    /**
+     * Replace the detector model (fault injection: dead detectors,
+     * elevated dark counts). Validated exactly like construction.
+     */
+    void setSpadModel(const SpadModel &model);
+
     const TtfTimer &timer() const { return timer_; }
     const ExponentialNetwork &network() const { return network_; }
     ExponentialNetwork &network() { return network_; }

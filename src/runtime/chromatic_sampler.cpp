@@ -46,7 +46,7 @@ ChromaticGibbsSampler::ChromaticGibbsSampler(
     }
 }
 
-void
+bool
 ChromaticGibbsSampler::sweep()
 {
     if (kind_ == SamplerKind::SoftwareGibbs) {
@@ -56,7 +56,7 @@ ChromaticGibbsSampler::sweep()
             tables_->sync();
             const rsu::mrf::SweepTables &tables = *tables_;
             if (path_ == rsu::mrf::SweepPath::Simd) {
-                executor_.sweepSplit(
+                return executor_.sweepSplit(
                     mrf_.width(), mrf_.height(),
                     [this, &tables](int s, int x, int y) {
                         auto &shard = shards_[s];
@@ -72,9 +72,8 @@ ChromaticGibbsSampler::sweep()
                             shard.fixed_weights.data(), shard.work,
                             x, y);
                     });
-                return;
             }
-            executor_.sweepSplit(
+            return executor_.sweepSplit(
                 mrf_.width(), mrf_.height(),
                 [this, &tables](int s, int x, int y) {
                     auto &shard = shards_[s];
@@ -88,32 +87,31 @@ ChromaticGibbsSampler::sweep()
                                         shard.weights.data(),
                                         shard.work, x, y);
                 });
-            return;
         }
-        executor_.sweep(
+        return executor_.sweep(
             mrf_.width(), mrf_.height(), [this](int s, int x, int y) {
                 auto &shard = shards_[s];
                 rsu::mrf::GibbsSampler::updateSiteWith(
                     mrf_, shard.rng, shard.weights.data(),
                     shard.work, x, y);
             });
-    } else {
-        const rsu::core::Data2Table &staged = *data2_;
-        executor_.sweep(
-            mrf_.width(), mrf_.height(),
-            [this, &staged](int s, int x, int y) {
-                auto &shard = shards_[s];
-                rsu::mrf::RsuGibbsSampler::updateSiteWith(
-                    mrf_, *shard.unit, staged, shard.work, x, y);
-            });
     }
+    const rsu::core::Data2Table &staged = *data2_;
+    return executor_.sweep(
+        mrf_.width(), mrf_.height(),
+        [this, &staged](int s, int x, int y) {
+            auto &shard = shards_[s];
+            rsu::mrf::RsuGibbsSampler::updateSiteWith(
+                mrf_, *shard.unit, staged, shard.work, x, y);
+        });
 }
 
 void
 ChromaticGibbsSampler::run(int n)
 {
     for (int i = 0; i < n; ++i)
-        sweep();
+        if (!sweep())
+            return;
 }
 
 void
@@ -133,6 +131,36 @@ ChromaticGibbsSampler::setSimdIsa(rsu::core::SimdIsa isa)
 {
     if (tables_)
         tables_->setSimdIsa(isa);
+}
+
+void
+ChromaticGibbsSampler::injectFaults(const rsu::ret::FaultPlan &plan)
+{
+    if (kind_ != SamplerKind::RsuGibbs)
+        return;
+    for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+        auto &unit = *shards_[s].unit;
+        unit.injectFaults(plan.faultsFor(s, unit.config().width));
+    }
+}
+
+bool
+ChromaticGibbsSampler::deviceFailed() const
+{
+    for (const auto &shard : shards_)
+        if (shard.unit && shard.unit->failed())
+            return true;
+    return false;
+}
+
+rsu::core::RsuGStats
+ChromaticGibbsSampler::deviceStats() const
+{
+    rsu::core::RsuGStats total;
+    for (const auto &shard : shards_)
+        if (shard.unit)
+            total += shard.unit->stats();
+    return total;
 }
 
 rsu::mrf::SamplerWork

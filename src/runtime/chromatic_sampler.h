@@ -81,10 +81,16 @@ class ChromaticGibbsSampler
                           std::shared_ptr<const rsu::mrf::SweepTableSet>
                               table_set = nullptr);
 
-    /** One MCMC iteration: every site updated once, chromatically. */
-    void sweep();
+    /**
+     * One MCMC iteration: every site updated once, chromatically.
+     * Returns false (leaving the label field untouched) when the
+     * executor's cancellation token was tripped before the sweep
+     * began; true otherwise.
+     */
+    bool sweep();
 
-    /** Run @p n sweeps. */
+    /** Run up to @p n sweeps; stops early if a sweep reports
+     * cancellation. */
     void run(int n);
 
     /**
@@ -109,6 +115,22 @@ class ChromaticGibbsSampler
 
     /** Shard @p s's emulated device (RsuGibbs only; tests/wear). */
     rsu::core::RsuG &unit(int s) { return *shards_[s].unit; }
+
+    /**
+     * Inject the per-shard slice of a device fault campaign
+     * (RsuGibbs only; no-op otherwise). Shard s receives
+     * plan.faultsFor(s, width), so the afflicted lanes depend only
+     * on (plan.seed, shard index) — stable across pool sizes.
+     */
+    void injectFaults(const rsu::ret::FaultPlan &plan);
+
+    /** True once any shard's device declared itself failed
+     * (always false for SoftwareGibbs). */
+    bool deviceFailed() const;
+
+    /** Device health/occupancy counters summed over all shards
+     * (zeros for SoftwareGibbs). */
+    rsu::core::RsuGStats deviceStats() const;
 
   private:
     /** Everything one worker touches during a phase. */

@@ -1,10 +1,27 @@
 #include "runtime/inference_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
 
 namespace rsu::runtime {
+
+namespace {
+
+/**
+ * Thrown by the traced sweep loop to unwind out of a run (possibly
+ * through mrf::anneal) when the job's token or deadline trips; the
+ * executor caught it knows the label field is whole-sweeps
+ * consistent. Internal — callers only ever see InferenceResult or
+ * EngineError.
+ */
+struct Interrupt
+{
+    JobOutcome outcome;
+};
+
+} // namespace
 
 InferenceEngine::InferenceEngine(Options options)
     : options_(options), pool_(options.threads)
@@ -12,6 +29,9 @@ InferenceEngine::InferenceEngine(Options options)
     if (options_.max_concurrent_jobs < 1)
         throw std::invalid_argument(
             "InferenceEngine: need max_concurrent_jobs >= 1");
+    if (options_.max_queued_jobs < 0)
+        throw std::invalid_argument(
+            "InferenceEngine: need max_queued_jobs >= 0");
     dispatchers_.reserve(options_.max_concurrent_jobs);
     for (int i = 0; i < options_.max_concurrent_jobs; ++i)
         dispatchers_.emplace_back([this] { dispatcherLoop(); });
@@ -19,35 +39,99 @@ InferenceEngine::InferenceEngine(Options options)
 
 InferenceEngine::~InferenceEngine()
 {
+    shutdown(options_.shutdown_mode);
+}
+
+void
+InferenceEngine::shutdown(ShutdownMode mode)
+{
+    std::deque<QueuedJob> orphans;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        stop_ = true;
+        if (!joined_) {
+            stop_ = true;
+            if (mode == ShutdownMode::CancelAll) {
+                orphans.swap(queue_);
+                for (const auto &control : running_)
+                    control->token.cancel();
+            }
+        }
     }
     cv_.notify_all();
+    space_cv_.notify_all(); // wake Block-ed submitters to fail fast
+
+    // Promises are never broken: jobs the dispatchers will never
+    // see resolve here, with a typed error.
+    for (auto &orphan : orphans)
+        resolveUnrun(orphan, EngineError(EngineErrorCode::Cancelled,
+                                         "engine shut down before "
+                                         "the job started"));
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (joined_)
+            return; // an earlier shutdown() already joined
+        joined_ = true;
+    }
     for (auto &dispatcher : dispatchers_)
         dispatcher.join();
 }
 
-std::future<InferenceResult>
+JobHandle
 InferenceEngine::submit(InferenceJob job)
 {
     if (!job.singleton)
         throw std::invalid_argument(
             "InferenceEngine: job needs a singleton model");
+    if (job.deadline_seconds && *job.deadline_seconds < 0.0)
+        throw std::invalid_argument(
+            "InferenceEngine: need deadline_seconds >= 0");
+
     QueuedJob queued;
+    queued.control = std::make_shared<JobHandle::Control>();
+    queued.control->token = job.cancel.cancellable()
+                                ? job.cancel
+                                : CancellationToken::make();
+    if (job.deadline_seconds)
+        queued.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(*job.deadline_seconds));
     queued.job = std::move(job);
-    auto future = queued.promise.get_future();
+
+    JobHandle handle;
+    handle.control_ = queued.control;
+    handle.future = queued.promise.get_future();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
         if (stop_)
-            throw std::runtime_error(
-                "InferenceEngine: submit after shutdown");
+            throw EngineError(EngineErrorCode::Cancelled,
+                              "submit after shutdown");
+        if (options_.max_queued_jobs > 0 &&
+            static_cast<int>(queue_.size()) >=
+                options_.max_queued_jobs) {
+            if (options_.backpressure ==
+                BackpressurePolicy::RejectNewest)
+                throw EngineError(EngineErrorCode::QueueFull,
+                                  "admission queue is full");
+            space_cv_.wait(lock, [this] {
+                return stop_ ||
+                       static_cast<int>(queue_.size()) <
+                           options_.max_queued_jobs;
+            });
+            if (stop_)
+                throw EngineError(EngineErrorCode::Cancelled,
+                                  "engine shut down while submit "
+                                  "was blocked on backpressure");
+        }
         queued.id = next_id_++;
+        queued.control->id = queued.id;
         ++unfinished_;
         queue_.push_back(std::move(queued));
     }
     cv_.notify_one();
-    return future;
+    return handle;
 }
 
 int
@@ -130,6 +214,19 @@ InferenceEngine::acquireTableSet(const rsu::mrf::GridMrf &mrf,
 }
 
 void
+InferenceEngine::resolveUnrun(QueuedJob &queued,
+                              const EngineError &error)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --unfinished_;
+    }
+    queued.control->status.store(JobStatus::Cancelled,
+                                 std::memory_order_release);
+    queued.promise.set_exception(std::make_exception_ptr(error));
+}
+
+void
 InferenceEngine::dispatcherLoop()
 {
     for (;;) {
@@ -143,33 +240,65 @@ InferenceEngine::dispatcherLoop()
             queued = std::move(queue_.front());
             queue_.pop_front();
         }
+        space_cv_.notify_one();
+
+        // Pre-flight: a job whose token tripped or whose deadline
+        // passed while it waited never runs; its future gets the
+        // typed error instead of a partial result.
+        if (queued.control->token.cancelled()) {
+            resolveUnrun(queued,
+                         EngineError(EngineErrorCode::Cancelled,
+                                     "job cancelled while queued"));
+            continue;
+        }
+        if (queued.deadline &&
+            std::chrono::steady_clock::now() >= *queued.deadline) {
+            resolveUnrun(queued,
+                         EngineError(
+                             EngineErrorCode::DeadlineExceeded,
+                             "deadline expired while the job was "
+                             "queued"));
+            continue;
+        }
+
+        queued.control->status.store(JobStatus::Running,
+                                     std::memory_order_release);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            running_.push_back(queued.control);
+        }
         // The job must count as finished before its future resolves,
         // or a caller waking from future.get() could still observe
         // it as pending.
+        const auto finish = [&](JobStatus status) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --unfinished_;
+            running_.erase(std::remove(running_.begin(),
+                                       running_.end(),
+                                       queued.control),
+                           running_.end());
+            queued.control->status.store(status,
+                                         std::memory_order_release);
+        };
         try {
-            auto result = execute(queued.job, queued.id);
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                --unfinished_;
-            }
+            auto result = execute(queued);
+            finish(JobStatus::Done);
             queued.promise.set_value(std::move(result));
         } catch (...) {
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                --unfinished_;
-            }
+            finish(JobStatus::Done);
             queued.promise.set_exception(std::current_exception());
         }
     }
 }
 
 InferenceResult
-InferenceEngine::execute(InferenceJob &job, uint64_t id)
+InferenceEngine::execute(QueuedJob &queued)
 {
+    InferenceJob &job = queued.job;
     const auto start = std::chrono::steady_clock::now();
 
     InferenceResult result;
-    result.job_id = id;
+    result.job_id = queued.id;
 
     rsu::mrf::GridMrf mrf(job.config, *job.singleton);
 
@@ -192,31 +321,79 @@ InferenceEngine::execute(InferenceJob &job, uint64_t id)
     if (shards == 0)
         shards = options_.default_shards;
     ParallelSweepExecutor executor(pool_, shards);
-    ChromaticGibbsSampler sampler(mrf, executor, job.seed,
-                                  job.sampler, job.rsu_base,
-                                  job.sweep_path, table_set);
+    executor.setCancellationToken(queued.control->token);
+    auto sampler = std::make_unique<ChromaticGibbsSampler>(
+        mrf, executor, job.seed, job.sampler, job.rsu_base,
+        job.sweep_path, table_set);
+    if (job.faults)
+        sampler->injectFaults(*job.faults);
 
     result.shards = executor.shards();
     result.initial_energy = mrf.totalEnergy();
     result.energy_trace.push_back(result.initial_energy);
 
-    int sweeps_run = 0;
-    const auto traced_sweep = [&] {
-        sampler.sweep();
-        ++sweeps_run;
-        if (job.energy_trace_stride > 0 &&
-            sweeps_run % job.energy_trace_stride == 0)
-            result.energy_trace.push_back(mrf.totalEnergy());
+    // Device-failure reaction: swap the failed RSU sampler for a
+    // software Table sampler over the same model/executor, keeping
+    // the label field (the chain continues where the device left
+    // off). The old sampler's work and health counters are folded
+    // into the result before it is dropped.
+    const auto maybe_degrade = [&]() {
+        if (job.sampler != SamplerKind::RsuGibbs ||
+            result.degraded || !sampler->deviceFailed())
+            return;
+        result.device_stats = sampler->deviceStats();
+        if (options_.degradation == DegradationPolicy::FailJob)
+            throw EngineError(EngineErrorCode::DeviceFailed,
+                              "RSU device failed and fallback is "
+                              "disabled");
+        result.work = sampler->work();
+        if (!table_set)
+            table_set = acquireTableSet(mrf, job, result);
+        sampler = std::make_unique<ChromaticGibbsSampler>(
+            mrf, executor, job.seed, SamplerKind::SoftwareGibbs,
+            job.rsu_base, rsu::mrf::SweepPath::Table, table_set);
+        result.degraded = true;
+        result.degraded_at_sweep = result.sweeps_run;
     };
 
-    if (job.annealing) {
-        result.final_energy = rsu::mrf::anneal(
-            mrf, *job.annealing,
-            [&](double t) { sampler.setTemperature(t); },
-            traced_sweep);
-    } else {
-        for (int i = 0; i < job.sweeps; ++i)
-            traced_sweep();
+    // One guarded MCMC iteration. Cancellation and deadline are
+    // observed here, between sweeps, so a stopped job always holds
+    // a whole number of sweeps (Interrupt unwinds to the handler
+    // below, through mrf::anneal if need be — in that case the
+    // best-labelling restoration is skipped and the partial result
+    // carries the current field).
+    const auto traced_sweep = [&] {
+        if (queued.control->token.cancelled())
+            throw Interrupt{JobOutcome::Cancelled};
+        if (queued.deadline &&
+            std::chrono::steady_clock::now() >= *queued.deadline)
+            throw Interrupt{JobOutcome::DeadlineExceeded};
+        if (!sampler->sweep())
+            throw Interrupt{JobOutcome::Cancelled};
+        ++result.sweeps_run;
+        queued.control->sweeps_done.store(
+            result.sweeps_run, std::memory_order_relaxed);
+        if (job.energy_trace_stride > 0 &&
+            result.sweeps_run % job.energy_trace_stride == 0)
+            result.energy_trace.push_back(mrf.totalEnergy());
+        if (job.on_sweep)
+            job.on_sweep(result.sweeps_run);
+        maybe_degrade();
+    };
+
+    try {
+        if (job.annealing) {
+            result.final_energy = rsu::mrf::anneal(
+                mrf, *job.annealing,
+                [&](double t) { sampler->setTemperature(t); },
+                traced_sweep);
+        } else {
+            for (int i = 0; i < job.sweeps; ++i)
+                traced_sweep();
+            result.final_energy = mrf.totalEnergy();
+        }
+    } catch (const Interrupt &interrupt) {
+        result.outcome = interrupt.outcome;
         result.final_energy = mrf.totalEnergy();
     }
 
@@ -225,14 +402,30 @@ InferenceEngine::execute(InferenceJob &job, uint64_t id)
 
     result.labels = mrf.labels();
     if (job.quality) {
-        result.quality = job.quality(result.labels);
+        // Advisory: a throwing hook never discards the labelling.
+        try {
+            result.quality = job.quality(result.labels);
+        } catch (const std::exception &e) {
+            result.quality_error = e.what();
+        } catch (...) {
+            result.quality_error = "unknown quality-hook error";
+        }
         result.quality_metric = job.quality_metric;
         result.quality_higher_is_better =
             job.quality_higher_is_better;
     }
-    result.work = sampler.work();
+    // Fold in the current sampler's counters (for degraded jobs,
+    // result.work already holds the device-phase counters).
+    {
+        const auto tail = sampler->work();
+        result.work.site_updates += tail.site_updates;
+        result.work.energy_evals += tail.energy_evals;
+        result.work.exp_calls += tail.exp_calls;
+        result.work.random_draws += tail.random_draws;
+    }
+    if (job.sampler == SamplerKind::RsuGibbs && !result.degraded)
+        result.device_stats = sampler->deviceStats();
     result.phase_timing = executor.timing();
-    result.sweeps_run = sweeps_run;
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
     result.elapsed_seconds = elapsed.count();

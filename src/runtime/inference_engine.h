@@ -29,6 +29,8 @@
 #ifndef RSU_RUNTIME_INFERENCE_ENGINE_H
 #define RSU_RUNTIME_INFERENCE_ENGINE_H
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -42,6 +44,8 @@
 #include "mrf/annealing.h"
 #include "mrf/gibbs.h"
 #include "mrf/grid_mrf.h"
+#include "ret/fault_injection.h"
+#include "runtime/cancellation.h"
 #include "runtime/chromatic_sampler.h"
 #include "runtime/parallel_sweep.h"
 #include "runtime/thread_pool.h"
@@ -120,6 +124,55 @@ struct InferenceJob
     /** Whether larger quality values are better (false for error
      * metrics such as mean endpoint error). */
     bool quality_higher_is_better = true;
+
+    /**
+     * Wall-clock budget measured from submit(). A job past its
+     * deadline resolves with an EngineError(DeadlineExceeded) if it
+     * never started, or with a partial result
+     * (outcome = DeadlineExceeded, labels as of the last completed
+     * sweep) if the deadline passed mid-run. Checked at sweep
+     * boundaries, so a long sweep overruns by at most one sweep.
+     */
+    std::optional<double> deadline_seconds;
+
+    /**
+     * Caller-supplied cancellation token. Leave inert to have
+     * submit() mint one (reachable through the JobHandle); supply
+     * CancellationToken::make() to share one flag across jobs.
+     * Cancellation is observed at sweep boundaries: a job cancelled
+     * after sweep k resolves with exactly k sweeps' labels
+     * (outcome = Cancelled), or with an EngineError(Cancelled) if it
+     * never left the queue.
+     */
+    CancellationToken cancel;
+
+    /**
+     * Diagnostic hook run on the job's dispatcher thread after each
+     * completed sweep (argument: sweeps completed so far). Runs
+     * before the next sweep's cancellation/deadline check, so a
+     * hook that trips the job's token after sweep k stops it with
+     * exactly k sweeps run. Exceptions abort the job.
+     */
+    std::function<void(int)> on_sweep;
+
+    /**
+     * Device-fault campaign injected into the per-shard RSU-G units
+     * before the first sweep (RsuGibbs jobs only; ignored
+     * otherwise). Shard s receives plan.faultsFor(s, width). When a
+     * shard's unit subsequently declares itself failed, the
+     * engine's degradation policy decides between transparent
+     * software fallback and failing the job (see
+     * EngineOptions::degradation).
+     */
+    std::optional<rsu::ret::FaultPlan> faults;
+};
+
+/** How a job's run ended (partial results carry non-Completed). */
+enum class JobOutcome
+{
+    Completed,        //!< ran every requested sweep
+    Cancelled,        //!< stopped early by its cancellation token
+    DeadlineExceeded, //!< stopped early by its deadline
 };
 
 /** What a finished job returns. */
@@ -146,9 +199,59 @@ struct InferenceResult
     std::string quality_metric;
     bool quality_higher_is_better = true;
 
+    /** What() of an exception thrown by the quality hook. The hook
+     * is advisory: its failure never discards the labelling, it
+     * just leaves `quality` empty and the reason here. */
+    std::string quality_error;
+
+    /** Completed, or the reason the run stopped early. Partial
+     * results are still whole numbers of sweeps (`sweeps_run` of
+     * them) — cancellation never tears a sweep. */
+    JobOutcome outcome = JobOutcome::Completed;
+
+    /** True when a device fault forced this job off its RSU path
+     * onto the software Table path mid-run (see
+     * EngineOptions::degradation). */
+    bool degraded = false;
+
+    /** Sweeps completed on the device path before degradation
+     * (-1 when not degraded). */
+    int degraded_at_sweep = -1;
+
+    /** Device health/occupancy counters summed over the job's
+     * RSU-G shards (zeros for software jobs); for degraded jobs,
+     * the counters as of the moment of fallback. */
+    rsu::core::RsuGStats device_stats;
+
     int sweeps_run = 0;
     int shards = 0;
     uint64_t job_id = 0;
+};
+
+/** What submit() does when the admission queue is full. */
+enum class BackpressurePolicy
+{
+    Block,        //!< submit() blocks until a slot frees up
+    RejectNewest, //!< submit() throws EngineError(QueueFull)
+};
+
+/** What shutdown (and the destructor) does with outstanding work. */
+enum class ShutdownMode
+{
+    Drain,     //!< run every queued job to completion, then join
+    CancelAll, //!< cancel running jobs, fail queued ones, join
+};
+
+/** What the engine does when a job's RSU device declares failure. */
+enum class DegradationPolicy
+{
+    /** Finish the job on the software Table path, flagging the
+     * result degraded. The sweeps already taken on the device are
+     * kept — the chain continues from the current label field. */
+    FallbackToSoftware,
+
+    /** Resolve the job's future with EngineError(DeviceFailed). */
+    FailJob,
 };
 
 /** InferenceEngine construction parameters. */
@@ -168,6 +271,21 @@ struct EngineOptions
     /** SweepTableSet cache entries kept (LRU eviction); 0 disables
      * caching — every Table/Simd job builds a private set. */
     int table_cache_capacity = 16;
+
+    /** Admission-queue bound: jobs *waiting* (not yet dispatched);
+     * 0 = unbounded. Crossing it applies `backpressure`. */
+    int max_queued_jobs = 0;
+
+    /** Reaction to a full admission queue. */
+    BackpressurePolicy backpressure = BackpressurePolicy::Block;
+
+    /** Destructor behaviour for outstanding jobs; shutdown() can
+     * override explicitly. */
+    ShutdownMode shutdown_mode = ShutdownMode::Drain;
+
+    /** Reaction to an RSU device declaring failure mid-job. */
+    DegradationPolicy degradation =
+        DegradationPolicy::FallbackToSoftware;
 };
 
 /** Table-cache effectiveness counters (see tableCacheStats()). */
@@ -178,6 +296,66 @@ struct TableCacheStats
     int entries = 0;     //!< sets currently cached
 };
 
+/** Where a submitted job currently is in its lifecycle. */
+enum class JobStatus
+{
+    Queued,    //!< accepted, waiting for a dispatcher
+    Running,   //!< a dispatcher is executing it
+    Done,      //!< future resolved after the job ran (any outcome)
+    Cancelled, //!< future resolved without the job ever running
+};
+
+/**
+ * Handle returned by InferenceEngine::submit(). The future is the
+ * result channel (public — move it out freely, e.g. into a
+ * vector<future>); cancel()/status() keep working afterwards. The
+ * engine guarantees the future ALWAYS resolves — with a value
+ * (possibly partial, see InferenceResult::outcome) or an
+ * EngineError — even when the engine is destroyed first; it never
+ * surfaces std::future_error from a broken promise.
+ */
+class JobHandle
+{
+  public:
+    std::future<InferenceResult> future;
+
+    /** Convenience forward of future.get(). */
+    InferenceResult get() { return future.get(); }
+
+    /** Request cooperative cancellation (safe from any thread). */
+    void cancel() { control_->token.cancel(); }
+
+    /** Lifecycle snapshot (racy by nature; exact once resolved). */
+    JobStatus
+    status() const
+    {
+        return control_->status.load(std::memory_order_acquire);
+    }
+
+    /** Sweeps the job has completed so far. */
+    int
+    sweepsDone() const
+    {
+        return control_->sweeps_done.load(std::memory_order_relaxed);
+    }
+
+    uint64_t id() const { return control_->id; }
+
+  private:
+    friend class InferenceEngine;
+
+    /** Lifecycle state shared between the engine and the handle. */
+    struct Control
+    {
+        CancellationToken token;
+        std::atomic<JobStatus> status{JobStatus::Queued};
+        std::atomic<int> sweeps_done{0};
+        uint64_t id = 0;
+    };
+
+    std::shared_ptr<Control> control_;
+};
+
 /** Queues, batches, and executes inference jobs on a shared pool. */
 class InferenceEngine
 {
@@ -186,19 +364,39 @@ class InferenceEngine
 
     explicit InferenceEngine(Options options = {});
 
-    /** Drains queued jobs, then joins all engine threads. */
+    /** Runs shutdown() in the configured shutdown_mode. Every
+     * outstanding future still resolves (Drain: with its result;
+     * CancelAll: queued jobs with EngineError(Cancelled), running
+     * jobs with a partial Cancelled result). */
     ~InferenceEngine();
 
     InferenceEngine(const InferenceEngine &) = delete;
     InferenceEngine &operator=(const InferenceEngine &) = delete;
 
     /**
-     * Enqueue @p job; the future resolves when it completes (or
-     * carries the exception that aborted it). The job shares
-     * ownership of its singleton model, so the caller has no
-     * lifetime obligations after this returns.
+     * Enqueue @p job; the handle's future resolves when it
+     * completes (or carries the EngineError that refused/aborted
+     * it). The job shares ownership of its singleton model, so the
+     * caller has no lifetime obligations after this returns.
+     *
+     * Admission control: with max_queued_jobs set and the queue
+     * full, Block waits for space (throwing EngineError(Cancelled)
+     * if the engine shuts down first) and RejectNewest throws
+     * EngineError(QueueFull).
      */
-    std::future<InferenceResult> submit(InferenceJob job);
+    JobHandle submit(InferenceJob job);
+
+    /**
+     * Stop accepting jobs and join the dispatchers. Drain finishes
+     * all outstanding work first; CancelAll trips every running
+     * job's token (they resolve with partial Cancelled results) and
+     * resolves still-queued jobs with EngineError(Cancelled).
+     * Idempotent; later calls (and the destructor) are no-ops.
+     */
+    void shutdown(ShutdownMode mode);
+
+    /** shutdown() in the configured default mode. */
+    void shutdown() { shutdown(options_.shutdown_mode); }
 
     /** Jobs accepted but not yet finished. */
     int pendingJobs() const;
@@ -213,6 +411,11 @@ class InferenceEngine
     {
         InferenceJob job;
         std::promise<InferenceResult> promise;
+        std::shared_ptr<JobHandle::Control> control;
+        /** Absolute deadline, fixed at submit() so queue time
+         * counts against the budget. */
+        std::optional<std::chrono::steady_clock::time_point>
+            deadline;
         uint64_t id = 0;
     };
 
@@ -249,7 +452,11 @@ class InferenceEngine
     };
 
     void dispatcherLoop();
-    InferenceResult execute(InferenceJob &job, uint64_t id);
+    InferenceResult execute(QueuedJob &queued);
+
+    /** Resolve a job that will never run with @p error (status
+     * Cancelled, unfinished count decremented first). */
+    void resolveUnrun(QueuedJob &queued, const EngineError &error);
 
     /**
      * The cached set for @p mrf's model, building (parallel row
@@ -268,10 +475,14 @@ class InferenceEngine
     std::vector<std::thread> dispatchers_;
     std::deque<QueuedJob> queue_;
     mutable std::mutex mutex_;
-    std::condition_variable cv_;
+    std::condition_variable cv_;       //!< queue has work / stopping
+    std::condition_variable space_cv_; //!< queue has room (Block)
     bool stop_ = false;
+    bool joined_ = false;
     int unfinished_ = 0;
     uint64_t next_id_ = 1;
+    /** Controls of currently-running jobs (CancelAll targets). */
+    std::vector<std::shared_ptr<JobHandle::Control>> running_;
 
     // Table cache (own lock: held only for lookup/insert, never
     // while building, so it cannot serialize job execution).

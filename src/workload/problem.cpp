@@ -25,6 +25,9 @@ makeJob(const InferenceProblem &problem, const SubmitOptions &options)
     job.seed = options.seed;
     job.shards = options.shards;
     job.energy_trace_stride = options.energy_trace_stride;
+    job.deadline_seconds = options.deadline_seconds;
+    job.cancel = options.cancel;
+    job.faults = options.faults;
     job.initial_labels = problem.initial_labels;
     if (problem.quality) {
         job.quality = problem.quality.evaluate;

@@ -136,6 +136,18 @@ struct SubmitOptions
 
     /** InferenceJob::energy_trace_stride passthrough. */
     int energy_trace_stride = 0;
+
+    /** InferenceJob::deadline_seconds passthrough (wall-clock
+     * budget from submit; solveDirect() ignores it). */
+    std::optional<double> deadline_seconds;
+
+    /** InferenceJob::cancel passthrough (cooperative cancellation;
+     * solveDirect() ignores it). */
+    rsu::runtime::CancellationToken cancel;
+
+    /** InferenceJob::faults passthrough: device-fault campaign for
+     * RsuGibbs submissions (solveDirect() ignores it). */
+    std::optional<rsu::ret::FaultPlan> faults;
 };
 
 /**

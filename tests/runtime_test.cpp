@@ -293,10 +293,10 @@ TEST(InferenceEngineTest, JobsAreReproducibleAndIsolated)
     // must agree bit-for-bit even while unrelated jobs share the
     // pool, and each must match a directly driven chain.
     std::vector<std::future<rsu::runtime::InferenceResult>> futures;
-    futures.push_back(engine.submit(make_job(100, 2)));
-    futures.push_back(engine.submit(make_job(200, 4)));
-    futures.push_back(engine.submit(make_job(100, 2)));
-    futures.push_back(engine.submit(make_job(300, 1)));
+    futures.push_back(engine.submit(make_job(100, 2)).future);
+    futures.push_back(engine.submit(make_job(200, 4)).future);
+    futures.push_back(engine.submit(make_job(100, 2)).future);
+    futures.push_back(engine.submit(make_job(300, 1)).future);
 
     std::vector<rsu::runtime::InferenceResult> results;
     for (auto &future : futures)
